@@ -1,0 +1,88 @@
+// Command prismeval runs the paper's learning evaluation: Table 4 (both
+// time scales), the Table 13 ablation, Table 14 generalizability, the
+// Fig 17/18 transition analysis and the §6.1 runtime comparison.
+//
+// Usage:
+//
+//	prismeval [-quick] [-seed N] [-table4|-ablation|-general|-series|-runtime|-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"prism5g/internal/experiments"
+	"prism5g/internal/mobility"
+	"prism5g/internal/sim"
+	"prism5g/internal/spectrum"
+)
+
+func main() {
+	quick := flag.Bool("quick", true, "use the small configuration (the paper-scale run takes ~1 h)")
+	seed := flag.Uint64("seed", 42, "seed")
+	doTable4 := flag.Bool("table4", false, "run Table 4 (both granularities)")
+	doAblation := flag.Bool("ablation", false, "run the Table 13 ablation")
+	doGeneral := flag.Bool("general", false, "run Table 14 generalizability")
+	doSeries := flag.Bool("series", false, "run the Fig 17/18 transition analysis")
+	doRuntime := flag.Bool("runtime", false, "run the §6.1 runtime comparison")
+	doAll := flag.Bool("all", false, "run everything")
+	flag.Parse()
+
+	cfg := experiments.PaperMLConfig(*seed)
+	if *quick {
+		cfg = experiments.QuickMLConfig(*seed)
+	}
+	if !(*doTable4 || *doAblation || *doGeneral || *doSeries || *doRuntime) {
+		*doAll = true
+	}
+
+	if *doAll || *doTable4 {
+		for _, g := range []sim.Granularity{sim.Short, sim.Long} {
+			fmt.Printf("== Table 4 (%s scale) ==\n", g)
+			res := experiments.Table4(g, cfg)
+			fmt.Println(res.Format())
+		}
+	}
+	if *doAll || *doAblation {
+		fmt.Println("== Table 13 ablation (OpZ driving) ==")
+		for _, g := range []sim.Granularity{sim.Short, sim.Long} {
+			spec := sim.SubDatasetSpec{Operator: spectrum.OpZ, Mobility: mobility.Driving, Gran: g}
+			res := experiments.Table13Ablation(spec, cfg)
+			fmt.Printf("%-22s full=%.4f noState=%.4f (+%.1f%%) noFusion=%.4f (+%.1f%%)\n",
+				res.Dataset, res.Full,
+				res.NoState, 100*(res.NoState/res.Full-1),
+				res.NoFusion, 100*(res.NoFusion/res.Full-1))
+		}
+	}
+	if *doAll || *doGeneral {
+		fmt.Println("\n== Table 14 generalizability (OpZ walking, 1 s scale) ==")
+		for _, res := range experiments.Table14Generalizability(cfg) {
+			fmt.Printf("%-28s", res.Case)
+			for _, m := range []string{"Prophet", "LSTM", "TCN", "Lumos5G", "Prism5G"} {
+				if v, ok := res.Results[m]; ok {
+					fmt.Printf("  %s=%.4f", m, v)
+				}
+			}
+			fmt.Println()
+		}
+	}
+	if *doAll || *doSeries {
+		fmt.Println("\n== Fig 17/18 transition analysis (OpZ driving, 10 ms scale) ==")
+		spec := sim.SubDatasetSpec{Operator: spectrum.OpZ, Mobility: mobility.Driving, Gran: sim.Short}
+		res := experiments.Fig17PredictionSeries(spec, cfg)
+		fmt.Printf("replayed %d prediction points over %d transitions\n", len(res.T), len(res.TransitionIdx))
+		tr := res.TransitionRMSE(15)
+		fmt.Printf("%-10s %18s %18s\n", "Model", "RMSE@transition", "RMSE elsewhere")
+		for _, m := range []string{"Prophet", "LSTM", "TCN", "Lumos5G", "Prism5G"} {
+			if v, ok := tr[m]; ok {
+				fmt.Printf("%-10s %15.0f M %15.0f M\n", m, v[0], v[1])
+			}
+		}
+	}
+	if *doAll || *doRuntime {
+		fmt.Println("\n== Runtime (§6.1) ==")
+		for _, r := range experiments.RuntimeComparison(cfg) {
+			fmt.Printf("%-10s train %-10v infer %v/sample\n", r.Model, r.TrainTime.Round(1e6), r.InferPerSample)
+		}
+	}
+}

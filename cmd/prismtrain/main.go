@@ -1,0 +1,54 @@
+// Command prismtrain trains one throughput predictor on one sub-dataset and
+// reports its test RMSE — the single-cell view of paper Table 4.
+//
+// Usage:
+//
+//	prismtrain [-model Prism5G] [-op OpZ] [-mobility driving] [-gran short]
+//	           [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"prism5g/internal/experiments"
+	"prism5g/internal/mobility"
+	"prism5g/internal/sim"
+	"prism5g/internal/spectrum"
+)
+
+func main() {
+	model := flag.String("model", "Prism5G", "Prophet, LSTM, TCN, Lumos5G, GBDT, RF, Prism5G, Prism5G-NoState or Prism5G-NoFusion")
+	op := flag.String("op", "OpZ", "operator")
+	mob := flag.String("mobility", "driving", "walking or driving")
+	gran := flag.String("gran", "short", "short (10ms) or long (1s)")
+	quick := flag.Bool("quick", false, "use the small CI-sized configuration")
+	seed := flag.Uint64("seed", 42, "seed")
+	flag.Parse()
+
+	g := sim.Long
+	if *gran == "short" {
+		g = sim.Short
+	}
+	m := mobility.Driving
+	if *mob == "walking" {
+		m = mobility.Walking
+	}
+	spec := sim.SubDatasetSpec{Operator: spectrum.Operator(*op), Mobility: m, Gran: g}
+
+	cfg := experiments.PaperMLConfig(*seed)
+	if *quick {
+		cfg = experiments.QuickMLConfig(*seed)
+	}
+	cfg.Models = []string{*model}
+
+	fmt.Printf("training %s on %s ...\n", *model, spec.Name())
+	cells := experiments.Table4Cell(spec, cfg)
+	if len(cells) == 0 {
+		log.Fatal("no result")
+	}
+	c := cells[0]
+	fmt.Printf("%s on %s: test RMSE %.4f (%d epochs, %v)\n",
+		c.Model, c.Dataset, c.RMSE, c.Epochs, c.TrainTime.Round(1e6))
+}

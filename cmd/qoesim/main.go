@@ -1,0 +1,55 @@
+// Command qoesim runs the paper's QoE use cases: the ViVo XR streamer under
+// CA (Figs 8/19) and MPC video-on-demand streaming (Figs 20/21).
+//
+// Usage:
+//
+//	qoesim [-use vivo|abr|impact|all] [-quick] [-sessions N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"prism5g/internal/experiments"
+)
+
+func main() {
+	use := flag.String("use", "all", "vivo (Fig 19), abr (Figs 20/21), impact (Fig 8) or all")
+	quick := flag.Bool("quick", true, "use the small configuration")
+	sessions := flag.Int("sessions", 12, "streaming sessions for the ABR tails")
+	seed := flag.Uint64("seed", 42, "seed")
+	flag.Parse()
+
+	cfg := experiments.PaperMLConfig(*seed)
+	if *quick {
+		cfg = experiments.QuickMLConfig(*seed)
+	}
+
+	if *use == "impact" || *use == "all" {
+		fmt.Println("== Fig 8: ViVo QoE, no CA vs 4CC CA (vs each case's ideal) ==")
+		res := experiments.Fig8ViVoCAImpact(*seed, 4)
+		fmt.Printf("no-CA channel: %.0f±%.0f Mbps    4CC channel: %.0f±%.0f Mbps\n",
+			res.NoCAMean, res.NoCAStd, res.FourCCMean, res.FourCCStd)
+		fmt.Println("case        run   quality-degradation%   stall-increase%")
+		for _, d := range res.NoCA {
+			fmt.Printf("no-CA       %3d   %20.1f   %15.1f\n", d.TraceID, d.QualityDegPct, d.StallIncPct)
+		}
+		for _, d := range res.FourCC {
+			fmt.Printf("4CC         %3d   %20.1f   %15.1f\n", d.TraceID, d.QualityDegPct, d.StallIncPct)
+		}
+	}
+	if *use == "vivo" || *use == "all" {
+		fmt.Println("\n== Fig 19: ViVo + predictors ==")
+		rows := experiments.Fig19ViVoPredictors(cfg)
+		fmt.Printf("%-12s %10s %10s %12s %12s\n", "Predictor", "AvgQuality", "Stall(s)", "dQuality(%)", "dStall(s)")
+		for _, r := range rows {
+			fmt.Printf("%-12s %10.2f %10.2f %12.1f %12.1f\n",
+				r.Predictor, r.AvgQuality, r.StallTimeS, r.DeltaQualityPct, r.DeltaStallPct)
+		}
+	}
+	if *use == "abr" || *use == "all" {
+		fmt.Println("\n== Figs 20/21: MPC 16K streaming + predictors ==")
+		rows := experiments.Fig20ABRPredictors(cfg, *sessions)
+		fmt.Print(experiments.FormatABRRows(rows))
+	}
+}

@@ -1,0 +1,65 @@
+// Band explorer: poke at the 5G PHY underneath the simulator.
+//
+// Prints the 3GPP band catalog, per-channel theoretical capacity and
+// spectral efficiency (paper Fig 10), the TBS/MCS mapping (paper Fig 9) and
+// the ideal-condition CA scaling of paper Fig 1.
+//
+// Run with:
+//
+//	go run ./examples/bandexplorer
+package main
+
+import (
+	"fmt"
+
+	"prism5g/internal/experiments"
+	"prism5g/internal/phy"
+	"prism5g/internal/spectrum"
+)
+
+func main() {
+	fmt.Println("== 3GPP band catalog (paper Table 6) ==")
+	fmt.Printf("%-6s %-4s %-5s %-10s %-9s %s\n", "Band", "Tech", "Mode", "Freq(MHz)", "Class", "Bandwidths(MHz)")
+	for _, b := range spectrum.AllBands() {
+		fmt.Printf("%-6s %-4s %-5s %-10.0f %-9s %v\n",
+			b.Name, b.Tech, b.Duplex, b.FreqMHz, b.Class(), b.BandwidthsMHz)
+	}
+
+	fmt.Println("\n== Channel capacity & spectral efficiency (paper Fig 10) ==")
+	fmt.Printf("%-26s %10s %12s %10s\n", "Channel", "BW(MHz)", "Cap(Mbps)", "bits/s/Hz")
+	for _, r := range experiments.Fig10SpectralEfficiency() {
+		fmt.Printf("%-26s %10.0f %12.0f %10.2f\n", r.Channel, r.BWMHz, r.CapMbps, r.BitsPerHz)
+	}
+
+	fmt.Println("\n== TBS vs MCS vs symbols, 100 MHz @ 2 layers (paper Fig 9) ==")
+	fmt.Printf("%-5s", "MCS")
+	for sym := 2; sym <= 13; sym++ {
+		fmt.Printf("%9d", sym)
+	}
+	fmt.Println()
+	rows := experiments.Fig9TBSMapping()
+	lastMCS := -1
+	for _, r := range rows {
+		if r.MCS != lastMCS {
+			if lastMCS >= 0 {
+				fmt.Println()
+			}
+			fmt.Printf("%-5d", r.MCS)
+			lastMCS = r.MCS
+		}
+		fmt.Printf("%9d", r.TBSBits)
+	}
+	fmt.Println()
+
+	fmt.Println("\n== Ideal-condition CA scaling (paper Fig 1), OpZ 5G ==")
+	fmt.Printf("%-40s %8s %10s %10s\n", "Combo", "BW(MHz)", "Mean Mbps", "Peak Mbps")
+	for _, r := range experiments.Fig1IdealThroughputByCC(spectrum.OpZ, spectrum.NR, 42) {
+		fmt.Printf("%-40s %8.0f %10.0f %10.0f\n", r.Combo, r.AggBWMHz, r.MeanMbps, r.PeakMbps)
+	}
+
+	// A few raw PHY calls for orientation.
+	top := phy.MCSTable256QAM[len(phy.MCSTable256QAM)-1]
+	nRB, _ := phy.NumRB(true, 30, 100)
+	fmt.Printf("\nraw PHY: 100 MHz @30 kHz SCS has %d RBs; one full slot at top MCS, 4 layers carries %d bits\n",
+		nRB, phy.SlotCapacityBits(nRB, 13, top, 4))
+}

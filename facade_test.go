@@ -1,0 +1,80 @@
+package prism5g_test
+
+import (
+	"math"
+	"testing"
+
+	"prism5g"
+)
+
+// smallBundle builds a reduced dataset for facade tests.
+func smallBundle(t *testing.T) *prism5g.Bundle {
+	t.Helper()
+	ds := prism5g.GenerateDataset(prism5g.OpZ, prism5g.Walking, prism5g.Long, 5)
+	// Trim traces for speed before preparing.
+	for i := range ds.Traces {
+		if len(ds.Traces[i].Samples) > 120 {
+			ds.Traces[i].Samples = ds.Traces[i].Samples[:120]
+		}
+	}
+	ds.Traces = ds.Traces[:4]
+	return prism5g.Prepare(ds, 1)
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	b := smallBundle(t)
+	if len(b.Train) == 0 || len(b.Val) == 0 || len(b.Test) == 0 {
+		t.Fatal("empty split")
+	}
+	cfg := prism5g.ModelConfig{Hidden: 8, Epochs: 6, Seed: 1}
+	m := prism5g.NewPrism5G(b, cfg)
+	if m.Name() != "Prism5G" {
+		t.Fatalf("name = %s", m.Name())
+	}
+	m.Train(b.Train, b.Val)
+	rmse := prism5g.EvaluateRMSE(m, b.Test)
+	if math.IsNaN(rmse) || rmse <= 0 || rmse > 1 {
+		t.Fatalf("RMSE = %f", rmse)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	b := smallBundle(t)
+	cfg := prism5g.ModelConfig{Hidden: 8, Epochs: 4, Seed: 1}
+	for _, name := range prism5g.BaselineNames() {
+		m := prism5g.NewBaseline(name, b, cfg)
+		if m == nil {
+			t.Fatalf("baseline %s not constructed", name)
+		}
+		if m.Name() != name {
+			t.Fatalf("name mismatch: %s vs %s", m.Name(), name)
+		}
+	}
+	if prism5g.NewBaseline("nope", b, cfg) != nil {
+		t.Fatal("unknown baseline should be nil")
+	}
+	if len(prism5g.UEModems()) != 5 {
+		t.Fatal("modem list wrong")
+	}
+}
+
+func TestFacadeQoE(t *testing.T) {
+	b := smallBundle(t)
+	tr := &b.Dataset.Traces[0]
+	vivo := prism5g.SimulateViVo(tr, b.Scaler, nil, false)
+	if vivo.Frames == 0 {
+		t.Fatal("no frames streamed")
+	}
+	abr := prism5g.SimulateABR(tr, b.Scaler, nil)
+	if abr.Chunks == 0 {
+		t.Fatal("no chunks streamed")
+	}
+	// With a trained model plugged in.
+	cfg := prism5g.ModelConfig{Hidden: 8, Epochs: 4, Seed: 1}
+	m := prism5g.NewPrism5G(b, cfg)
+	m.Train(b.Train, b.Val)
+	vivo2 := prism5g.SimulateViVo(tr, b.Scaler, m, true)
+	if vivo2.Frames == 0 {
+		t.Fatal("model-driven ViVo streamed nothing")
+	}
+}

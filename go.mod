@@ -1,0 +1,3 @@
+module prism5g
+
+go 1.22

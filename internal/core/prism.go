@@ -1,0 +1,392 @@
+// Package core implements Prism5G, the paper's CA-aware deep-learning
+// framework for 4G/5G throughput prediction (§5). The model follows the
+// three design principles of Fig 16:
+//
+//  1. Per-CC modeling (blue): a weights-shared RNN consumes each component
+//     carrier's feature sequence separately: h_c = RNN_θ1(X_c).
+//  2. CA event monitoring (green): RRC signaling is translated into a binary
+//     mask I that gates the per-CC inputs (X'_c = X_c ⊙ I) and, through an
+//     embedding layer, provides the fusion module with channel-combination
+//     context E.
+//  3. Fusion learning (orange): h_f = Fusion_θ2([h_1..h_C, E]) captures the
+//     interplay among carriers; each carrier's state becomes h'_c = h_c +
+//     h_f.
+//
+// A weights-shared MLP head predicts each carrier's future throughput and
+// the aggregate is their sum: y_pred = Σ_c MLP_θ3(h'_c). All modules are
+// trained jointly by minimizing prediction error.
+//
+// The NoState and NoFusion constructors build the paper's Table 13 ablations.
+package core
+
+import (
+	"fmt"
+
+	"prism5g/internal/nn"
+	"prism5g/internal/predictors"
+	"prism5g/internal/rng"
+	"prism5g/internal/trace"
+)
+
+// Options configures Prism5G.
+type Options struct {
+	// Hidden is the RNN/MLP width (paper: 128; smaller works well at
+	// these dataset sizes and trains much faster).
+	Hidden int
+	// Horizon is the output sequence length (paper: 10).
+	Horizon int
+	// UseState enables the CA event mask gating + embedding ("state
+	// trigger mechanism"); disabled in the NoState ablation.
+	UseState bool
+	// UseFusion enables the fusion module; disabled in the NoFusion
+	// ablation.
+	UseFusion bool
+	// PerCCLossWeight weights the auxiliary per-carrier supervision
+	// (Fig 33/34 show Prism5G models each cell well; the auxiliary loss
+	// is what trains the per-CC heads to decompose the aggregate).
+	PerCCLossWeight float64
+	// Backbone selects the per-CC RNN: "lstm" (paper default) or "gru".
+	// The paper notes the RNN module is configurable.
+	Backbone string
+	// SharedWeights shares one RNN across carriers (the paper's design,
+	// which cuts parameters and pools training signal); false gives each
+	// carrier slot its own RNN (an ablation).
+	SharedWeights bool
+	// Train configures the optimizer.
+	Train predictors.TrainOpts
+}
+
+// DefaultOptions mirrors the paper's setup at a tractable width.
+func DefaultOptions() Options {
+	return Options{
+		Hidden:          32,
+		Horizon:         10,
+		UseState:        true,
+		UseFusion:       true,
+		PerCCLossWeight: 0.5,
+		Backbone:        "lstm",
+		SharedWeights:   true,
+		Train:           predictors.DefaultTrainOpts(),
+	}
+}
+
+// rnn abstracts the per-CC recurrent backbone so LSTM and GRU are
+// interchangeable: forward returns the final hidden state and a backward
+// closure that consumes dL/dh_last.
+type rnn interface {
+	Params() []*nn.Param
+	run(seq [][]float64) (last []float64, backward func(gLast []float64))
+}
+
+type lstmBackbone struct{ m *nn.LSTM }
+
+func (b lstmBackbone) Params() []*nn.Param { return b.m.Params() }
+func (b lstmBackbone) run(seq [][]float64) ([]float64, func([]float64)) {
+	hs, tape := b.m.Forward(seq)
+	last := hs[len(hs)-1]
+	return last, func(g []float64) {
+		gh := make([][]float64, len(hs))
+		gh[len(hs)-1] = g
+		b.m.Backward(tape, gh)
+	}
+}
+
+type gruBackbone struct{ m *nn.GRU }
+
+func (b gruBackbone) Params() []*nn.Param { return b.m.Params() }
+func (b gruBackbone) run(seq [][]float64) ([]float64, func([]float64)) {
+	hs, tape := b.m.Forward(seq)
+	last := hs[len(hs)-1]
+	return last, func(g []float64) {
+		gh := make([][]float64, len(hs))
+		gh[len(hs)-1] = g
+		b.m.Backward(tape, gh)
+	}
+}
+
+// Prism5G is the CA-aware throughput predictor.
+type Prism5G struct {
+	Opts Options
+
+	// rnns holds the per-CC backbones: one entry shared across carriers
+	// (the paper's θ1 weight sharing) or MaxCC independent ones.
+	rnns   []rnn
+	embed  *nn.Dense // mask (C*T) -> Hidden
+	fusion *nn.MLP   // (C*Hidden + Hidden) -> Hidden, θ2
+	head   *nn.MLP   // Hidden -> Horizon, shared θ3
+	histT  int       // history length inferred at first use (for embed)
+}
+
+// New builds a Prism5G model with history length T (the embedding layer's
+// input size depends on it).
+func New(opts Options, historyT int) *Prism5G {
+	if opts.Backbone == "" {
+		opts.Backbone = "lstm"
+	}
+	src := rng.New(opts.Train.Seed ^ 0x9515)
+	h := opts.Hidden
+	p := &Prism5G{Opts: opts, histT: historyT}
+	numRNNs := 1
+	if !opts.SharedWeights {
+		numRNNs = trace.MaxCC
+	}
+	for i := 0; i < numRNNs; i++ {
+		name := fmt.Sprintf("prism.rnn%d", i)
+		switch opts.Backbone {
+		case "gru":
+			p.rnns = append(p.rnns, gruBackbone{nn.NewGRU(name, trace.NumCCFeatures, h, src)})
+		default:
+			p.rnns = append(p.rnns, lstmBackbone{nn.NewLSTM(name, trace.NumCCFeatures, h, src)})
+		}
+	}
+	p.embed = nn.NewDense("prism.embed", trace.MaxCC*historyT, h, src)
+	p.fusion = nn.NewMLP("prism.fusion", []int{trace.MaxCC*h + h, h, h}, src)
+	p.head = nn.NewMLP("prism.head", []int{h, h, opts.Horizon}, src)
+	return p
+}
+
+// rnnFor returns the backbone serving carrier slot c.
+func (p *Prism5G) rnnFor(c int) rnn {
+	if len(p.rnns) == 1 {
+		return p.rnns[0]
+	}
+	return p.rnns[c]
+}
+
+// NewNoState builds the Table 13 "No State" ablation: no mask gating, no
+// embedding context.
+func NewNoState(opts Options, historyT int) *Prism5G {
+	opts.UseState = false
+	return New(opts, historyT)
+}
+
+// NewNoFusion builds the Table 13 "No Fusion" ablation.
+func NewNoFusion(opts Options, historyT int) *Prism5G {
+	opts.UseFusion = false
+	return New(opts, historyT)
+}
+
+// Name implements predictors.Predictor.
+func (p *Prism5G) Name() string {
+	switch {
+	case !p.Opts.UseState:
+		return "Prism5G-NoState"
+	case !p.Opts.UseFusion:
+		return "Prism5G-NoFusion"
+	default:
+		return "Prism5G"
+	}
+}
+
+// Params implements nn.Module.
+func (p *Prism5G) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, r := range p.rnns {
+		ps = append(ps, r.Params()...)
+	}
+	if p.Opts.UseState {
+		ps = append(ps, p.embed.Params()...)
+	}
+	if p.Opts.UseFusion {
+		ps = append(ps, p.fusion.Params()...)
+	}
+	return append(ps, p.head.Params()...)
+}
+
+// gate returns the state-trigger value for carrier c at step t: active, or
+// signaled by a recent RRC event (the event channel leads activation, which
+// is what lets the model react at transitions before throughput moves).
+func gate(w trace.Window, c, t int) float64 {
+	if w.Mask[c][t] > 0 {
+		return 1
+	}
+	if w.X[c][t][trace.FEvent] != 0 {
+		return 1
+	}
+	return 0
+}
+
+// forward runs the model on one window. It returns the aggregate prediction
+// and, when backprop is requested (gScale > 0), performs the full joint
+// backward pass including the auxiliary per-CC loss.
+func (p *Prism5G) forward(w trace.Window, gScale float64) []float64 {
+	C := trace.MaxCC
+	T := p.histT
+	H := p.Opts.Hidden
+
+	// --- Per-CC inputs with state gating ---
+	seqs := make([][][]float64, C)
+	maskFlat := make([]float64, C*T)
+	for c := 0; c < C; c++ {
+		seq := make([][]float64, T)
+		for t := 0; t < T; t++ {
+			g := 1.0
+			if p.Opts.UseState {
+				g = gate(w, c, t)
+			}
+			maskFlat[c*T+t] = gate(w, c, t)
+			if g == 1 {
+				seq[t] = w.X[c][t]
+			} else {
+				seq[t] = zeroVec(trace.NumCCFeatures)
+			}
+		}
+		seqs[c] = seq
+	}
+
+	// --- Shared (or per-CC) RNN ---
+	hcs := make([][]float64, C)
+	backs := make([]func([]float64), C)
+	for c := 0; c < C; c++ {
+		hcs[c], backs[c] = p.rnnFor(c).run(seqs[c])
+	}
+
+	// --- Embedding + fusion ---
+	var emb []float64
+	var fin []float64
+	var ftape *nn.MLPTape
+	hf := zeroVec(H)
+	if p.Opts.UseFusion {
+		fin = make([]float64, 0, C*H+H)
+		for c := 0; c < C; c++ {
+			fin = append(fin, hcs[c]...)
+		}
+		if p.Opts.UseState {
+			emb = p.embed.Forward(maskFlat)
+		} else {
+			emb = zeroVec(H)
+		}
+		fin = append(fin, emb...)
+		hf, ftape = p.fusion.Forward(fin)
+	}
+
+	// --- Per-CC heads and aggregate ---
+	ypred := make([]float64, p.Opts.Horizon)
+	hPrimes := make([][]float64, C)
+	htapes := make([]*nn.MLPTape, C)
+	ycs := make([][]float64, C)
+	for c := 0; c < C; c++ {
+		hp := make([]float64, H)
+		for i := 0; i < H; i++ {
+			hp[i] = hcs[c][i] + hf[i]
+		}
+		hPrimes[c] = hp
+		yc, ht := p.head.Forward(hp)
+		htapes[c] = ht
+		ycs[c] = yc
+		for h := 0; h < p.Opts.Horizon; h++ {
+			ypred[h] += yc[h]
+		}
+	}
+	if gScale <= 0 {
+		return ypred
+	}
+
+	// --- Backward ---
+	// Aggregate loss gradient reaches every head equally; auxiliary
+	// per-CC loss adds a direct term.
+	gAgg := nn.MSEGrad(ypred, w.Y)
+	ghf := zeroVec(H)
+	ghcs := make([][]float64, C)
+	for c := 0; c < C; c++ {
+		gyc := make([]float64, p.Opts.Horizon)
+		for h := 0; h < p.Opts.Horizon; h++ {
+			gyc[h] = gAgg[h] * gScale
+		}
+		if p.Opts.PerCCLossWeight > 0 {
+			gaux := nn.MSEGrad(ycs[c], w.YPerCC[c])
+			for h := range gyc {
+				gyc[h] += p.Opts.PerCCLossWeight * gScale * gaux[h] / float64(C)
+			}
+		}
+		ghp := p.head.Backward(htapes[c], gyc)
+		ghcs[c] = ghp
+		for i := 0; i < H; i++ {
+			ghf[i] += ghp[i]
+		}
+	}
+	if p.Opts.UseFusion {
+		gfin := p.fusion.Backward(ftape, ghf)
+		for c := 0; c < C; c++ {
+			for i := 0; i < H; i++ {
+				ghcs[c][i] += gfin[c*H+i]
+			}
+		}
+		if p.Opts.UseState {
+			gemb := gfin[C*H : C*H+H]
+			p.embed.Backward(maskFlat, gemb)
+		}
+	}
+	for c := 0; c < C; c++ {
+		backs[c](ghcs[c])
+	}
+	return ypred
+}
+
+// ForwardBackward implements predictors.SeqModel.
+func (p *Prism5G) ForwardBackward(w trace.Window, gScale float64) []float64 {
+	return p.forward(w, gScale)
+}
+
+// Train implements predictors.Predictor.
+func (p *Prism5G) Train(train, val []trace.Window) predictors.TrainReport {
+	return predictors.TrainLoop(p, train, val, p.Opts.Train)
+}
+
+// Predict implements predictors.Predictor.
+func (p *Prism5G) Predict(w trace.Window) []float64 {
+	return p.forward(w, 0)
+}
+
+// PredictPerCC returns the per-carrier horizon forecasts (scaled), the
+// decomposition shown in the paper's Fig 33/34.
+func (p *Prism5G) PredictPerCC(w trace.Window) [][]float64 {
+	C := trace.MaxCC
+	T := p.histT
+	H := p.Opts.Hidden
+	out := make([][]float64, C)
+	// Re-run forward capturing per-CC heads (duplicated on purpose: the
+	// hot path in forward stays allocation-lean).
+	seq := make([][]float64, T)
+	hcs := make([][]float64, C)
+	maskFlat := make([]float64, C*T)
+	for c := 0; c < C; c++ {
+		for t := 0; t < T; t++ {
+			g := 1.0
+			if p.Opts.UseState {
+				g = gate(w, c, t)
+			}
+			maskFlat[c*T+t] = gate(w, c, t)
+			if g == 1 {
+				seq[t] = w.X[c][t]
+			} else {
+				seq[t] = zeroVec(trace.NumCCFeatures)
+			}
+		}
+		hcs[c], _ = p.rnnFor(c).run(seq)
+	}
+	hf := zeroVec(H)
+	if p.Opts.UseFusion {
+		fin := make([]float64, 0, C*H+H)
+		for c := 0; c < C; c++ {
+			fin = append(fin, hcs[c]...)
+		}
+		if p.Opts.UseState {
+			fin = append(fin, p.embed.Forward(maskFlat)...)
+		} else {
+			fin = append(fin, zeroVec(H)...)
+		}
+		hf, _ = p.fusion.Forward(fin)
+	}
+	for c := 0; c < C; c++ {
+		hp := make([]float64, H)
+		for i := 0; i < H; i++ {
+			hp[i] = hcs[c][i] + hf[i]
+		}
+		yc, _ := p.head.Forward(hp)
+		out[c] = yc
+	}
+	return out
+}
+
+func zeroVec(n int) []float64 { return make([]float64, n) }

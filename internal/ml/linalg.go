@@ -1,0 +1,81 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a normal-equations system cannot be solved.
+var ErrSingular = errors.New("ml: singular system")
+
+// SolveRidge solves min_w ||Aw - y||^2 + lambda ||w||^2 via the normal
+// equations (A'A + lambda I) w = A'y using Cholesky decomposition. A is
+// row-major (n rows of p features).
+func SolveRidge(A [][]float64, y []float64, lambda float64) ([]float64, error) {
+	if len(A) == 0 || len(A) != len(y) {
+		return nil, errors.New("ml: SolveRidge dimension mismatch")
+	}
+	p := len(A[0])
+	// Build A'A + lambda I (symmetric p x p) and A'y.
+	ata := make([][]float64, p)
+	for i := range ata {
+		ata[i] = make([]float64, p)
+	}
+	aty := make([]float64, p)
+	for r, row := range A {
+		for i := 0; i < p; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			aty[i] += row[i] * y[r]
+			for j := i; j < p; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		ata[i][i] += lambda
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	// Cholesky: ata = L L'.
+	L := make([][]float64, p)
+	for i := range L {
+		L[i] = make([]float64, p)
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j <= i; j++ {
+			s := ata[i][j]
+			for k := 0; k < j; k++ {
+				s -= L[i][k] * L[j][k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrSingular
+				}
+				L[i][i] = math.Sqrt(s)
+			} else {
+				L[i][j] = s / L[j][j]
+			}
+		}
+	}
+	// Solve L z = aty, then L' w = z.
+	z := make([]float64, p)
+	for i := 0; i < p; i++ {
+		s := aty[i]
+		for k := 0; k < i; k++ {
+			s -= L[i][k] * z[k]
+		}
+		z[i] = s / L[i][i]
+	}
+	w := make([]float64, p)
+	for i := p - 1; i >= 0; i-- {
+		s := z[i]
+		for k := i + 1; k < p; k++ {
+			s -= L[k][i] * w[k]
+		}
+		w[i] = s / L[i][i]
+	}
+	return w, nil
+}

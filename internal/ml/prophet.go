@@ -1,0 +1,124 @@
+package ml
+
+import (
+	"math"
+)
+
+// ProphetOpts configures the Prophet-style forecaster: a decomposable model
+// y(t) = trend(t) + seasonality(t) fit by ridge-regularized least squares,
+// following Taylor & Letham's design (piecewise-linear trend with
+// changepoints plus Fourier seasonal terms). The paper evaluates Prophet
+// with a sliding-window refit (cross-validation schema, Appendix C.1);
+// Forecast below refits on every call, matching that protocol.
+type ProphetOpts struct {
+	// Changepoints is the number of potential trend changepoints.
+	Changepoints int
+	// FourierOrder is the number of sin/cos harmonic pairs.
+	FourierOrder int
+	// Period is the seasonality period in samples.
+	Period float64
+	// Ridge is the L2 regularization strength.
+	Ridge float64
+	// MaxHistory bounds the refit window (0 = use everything).
+	MaxHistory int
+}
+
+// DefaultProphetOpts returns settings suited to throughput traces of a few
+// hundred samples.
+func DefaultProphetOpts() ProphetOpts {
+	return ProphetOpts{Changepoints: 8, FourierOrder: 3, Period: 40, Ridge: 1.0, MaxHistory: 200}
+}
+
+// Prophet is the fitted model.
+type Prophet struct {
+	opts ProphetOpts
+	w    []float64
+	cps  []float64 // changepoint positions (in sample index units)
+	n    int       // fit-window length
+	t0   int       // absolute index of the first fitted sample
+	mean float64   // fallback when fitting fails
+}
+
+// FitProphet fits the model to series (one sample per step). The series
+// index is treated as time.
+func FitProphet(series []float64, opts ProphetOpts) *Prophet {
+	if opts.Changepoints <= 0 && opts.FourierOrder <= 0 {
+		opts = DefaultProphetOpts()
+	}
+	t0 := 0
+	if opts.MaxHistory > 0 && len(series) > opts.MaxHistory {
+		t0 = len(series) - opts.MaxHistory
+		series = series[t0:]
+	}
+	p := &Prophet{opts: opts, n: len(series), t0: t0}
+	if len(series) == 0 {
+		return p
+	}
+	for _, v := range series {
+		p.mean += v
+	}
+	p.mean /= float64(len(series))
+	if len(series) < 4 {
+		return p
+	}
+	// Changepoints over the first 80% of the window (Prophet's default).
+	for i := 1; i <= opts.Changepoints; i++ {
+		p.cps = append(p.cps, 0.8*float64(len(series))*float64(i)/float64(opts.Changepoints+1))
+	}
+	A := make([][]float64, len(series))
+	y := make([]float64, len(series))
+	for t := range series {
+		A[t] = p.design(float64(t))
+		y[t] = series[t]
+	}
+	w, err := SolveRidge(A, y, opts.Ridge)
+	if err != nil {
+		return p // fall back to mean
+	}
+	p.w = w
+	return p
+}
+
+// design builds the regression row for (window-relative) time t.
+func (p *Prophet) design(t float64) []float64 {
+	row := []float64{1, t / float64(p.n)}
+	for _, cp := range p.cps {
+		if t > cp {
+			row = append(row, (t-cp)/float64(p.n))
+		} else {
+			row = append(row, 0)
+		}
+	}
+	for k := 1; k <= p.opts.FourierOrder; k++ {
+		arg := 2 * math.Pi * float64(k) * t / p.opts.Period
+		row = append(row, math.Sin(arg), math.Cos(arg))
+	}
+	return row
+}
+
+// Predict evaluates the fitted curve at an absolute sample index (indices
+// beyond the fit window extrapolate the trend, which is exactly how Prophet
+// over/under-shoots at CA transitions — paper Fig 35).
+func (p *Prophet) Predict(absIdx int) float64 {
+	if p.w == nil {
+		return p.mean
+	}
+	t := float64(absIdx - p.t0)
+	row := p.design(t)
+	s := 0.0
+	for i, v := range row {
+		s += p.w[i] * v
+	}
+	return s
+}
+
+// Forecast fits on series and predicts the next horizon values, the
+// sliding-window protocol used in the evaluation.
+func Forecast(series []float64, horizon int, opts ProphetOpts) []float64 {
+	p := FitProphet(series, opts)
+	out := make([]float64, horizon)
+	for h := 0; h < horizon; h++ {
+		out[h] = p.Predict(len(series) + h)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package ml
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prism5g/internal/rng"
+)
+
+// Property: a regression tree's prediction always lies within the range of
+// its training targets (it predicts leaf means).
+func TestQuickTreePredictionBounds(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		src := rng.New(seed)
+		n := int(nRaw)%80 + 10
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		lo, hi := 1e18, -1e18
+		for i := range X {
+			X[i] = []float64{src.Range(0, 1), src.Range(0, 1)}
+			y[i] = src.Range(-100, 100)
+			if y[i] < lo {
+				lo = y[i]
+			}
+			if y[i] > hi {
+				hi = y[i]
+			}
+		}
+		tree := FitTree(X, y, DefaultTreeOpts(), src)
+		for trial := 0; trial < 10; trial++ {
+			p := tree.Predict([]float64{src.Range(-1, 2), src.Range(-1, 2)})
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ridge regression residuals shrink as lambda decreases toward
+// zero on a consistent system (more freedom to fit).
+func TestQuickRidgeMonotoneInLambda(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 30
+		A := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range A {
+			x := src.Range(-2, 2)
+			A[i] = []float64{1, x}
+			y[i] = 2*x - 1 + src.NormMS(0, 0.1)
+		}
+		sse := func(lambda float64) float64 {
+			w, err := SolveRidge(A, y, lambda)
+			if err != nil {
+				return 1e18
+			}
+			s := 0.0
+			for i := range A {
+				pred := w[0] + w[1]*A[i][1]
+				s += (pred - y[i]) * (pred - y[i])
+			}
+			return s
+		}
+		return sse(0.001) <= sse(10)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

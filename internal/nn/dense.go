@@ -1,0 +1,134 @@
+package nn
+
+import "prism5g/internal/rng"
+
+// Dense is a fully connected layer y = Wx + b.
+type Dense struct {
+	In, Out int
+	W       *Param // Out x In, row-major
+	B       *Param // Out
+}
+
+// NewDense creates an initialized dense layer.
+func NewDense(name string, in, out int, src *rng.Source) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W: NewParam(name+".W", out*in),
+		B: NewParam(name+".b", out),
+	}
+	d.W.InitUniform(src, in, out)
+	return d
+}
+
+// Params implements Module.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Forward computes y = Wx + b.
+func (d *Dense) Forward(x []float64) []float64 {
+	y := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		s := d.B.W[o]
+		row := d.W.W[o*d.In : (o+1)*d.In]
+		for i, xv := range x {
+			s += row[i] * xv
+		}
+		y[o] = s
+	}
+	return y
+}
+
+// Backward accumulates dL/dW and dL/db given the input x used in Forward and
+// the output gradient gy, and returns dL/dx.
+func (d *Dense) Backward(x, gy []float64) []float64 {
+	gx := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := gy[o]
+		if g == 0 {
+			continue
+		}
+		d.B.Grad[o] += g
+		row := d.W.W[o*d.In : (o+1)*d.In]
+		grow := d.W.Grad[o*d.In : (o+1)*d.In]
+		for i, xv := range x {
+			grow[i] += g * xv
+			gx[i] += g * row[i]
+		}
+	}
+	return gx
+}
+
+// MLP is a stack of dense layers with ReLU between them (none after the
+// last), the paper's per-CC prediction head.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP creates an MLP with the given layer sizes, e.g. (in, hidden, out).
+func NewMLP(name string, sizes []int, src *rng.Source) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewDense(name, sizes[i], sizes[i+1], src))
+	}
+	return m
+}
+
+// Params implements Module.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// MLPTape records the intermediates of one MLP forward pass.
+type MLPTape struct {
+	// inputs[i] is the input to layer i (post-activation of i-1).
+	inputs [][]float64
+	// preact[i] is the pre-activation output of layer i.
+	preact [][]float64
+}
+
+// Forward runs the MLP, returning the output and the tape for Backward.
+func (m *MLP) Forward(x []float64) ([]float64, *MLPTape) {
+	t := &MLPTape{}
+	cur := x
+	for li, l := range m.Layers {
+		t.inputs = append(t.inputs, cur)
+		y := l.Forward(cur)
+		t.preact = append(t.preact, y)
+		if li < len(m.Layers)-1 {
+			act := make([]float64, len(y))
+			for i, v := range y {
+				act[i] = ReLU(v)
+			}
+			cur = act
+		} else {
+			cur = y
+		}
+	}
+	return cur, t
+}
+
+// Backward propagates the output gradient, accumulating parameter grads and
+// returning the gradient with respect to the original input.
+func (m *MLP) Backward(t *MLPTape, gy []float64) []float64 {
+	g := gy
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		if li < len(m.Layers)-1 {
+			// Undo the ReLU applied after layer li.
+			masked := make([]float64, len(g))
+			for i, v := range t.preact[li] {
+				if v > 0 {
+					masked[i] = g[i]
+				}
+			}
+			g = masked
+		}
+		g = m.Layers[li].Backward(t.inputs[li], g)
+	}
+	return g
+}

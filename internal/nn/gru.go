@@ -1,0 +1,195 @@
+package nn
+
+import "prism5g/internal/rng"
+
+// GRU is a gated recurrent unit applied over a sequence — the alternative
+// RNN backbone for Prism5G (the paper's design is deliberately
+// architecture-agnostic: "the type of RNN module is configurable").
+// Gate order in the packed weights is (z, r, n).
+type GRU struct {
+	In, Hidden int
+	Wx         *Param // 3H x In
+	Wh         *Param // 3H x H
+	B          *Param // 3H
+}
+
+// NewGRU creates an initialized GRU.
+func NewGRU(name string, in, hidden int, src *rng.Source) *GRU {
+	g := &GRU{
+		In: in, Hidden: hidden,
+		Wx: NewParam(name+".Wx", 3*hidden*in),
+		Wh: NewParam(name+".Wh", 3*hidden*hidden),
+		B:  NewParam(name+".b", 3*hidden),
+	}
+	g.Wx.InitUniform(src, in, hidden)
+	g.Wh.InitUniform(src, hidden, hidden)
+	return g
+}
+
+// Params implements Module.
+func (g *GRU) Params() []*Param { return []*Param{g.Wx, g.Wh, g.B} }
+
+// GRUTape records one forward pass for backpropagation through time.
+type GRUTape struct {
+	xs      [][]float64
+	z, r, n [][]float64
+	h       [][]float64
+	hPrev   []float64
+	// uhn caches Uh_n * h_prev (needed exactly in backward).
+	uhn [][]float64
+}
+
+// T returns the sequence length.
+func (t *GRUTape) T() int { return len(t.xs) }
+
+// Forward runs the GRU over seq from zero state, returning hidden states
+// and the tape.
+func (g *GRU) Forward(seq [][]float64) ([][]float64, *GRUTape) {
+	H := g.Hidden
+	tape := &GRUTape{hPrev: make([]float64, H)}
+	hPrev := tape.hPrev
+	hs := make([][]float64, len(seq))
+	for t, x := range seq {
+		zv := make([]float64, H)
+		rv := make([]float64, H)
+		nv := make([]float64, H)
+		hv := make([]float64, H)
+		uh := make([]float64, H)
+		for h := 0; h < H; h++ {
+			az := g.B.W[h]
+			ar := g.B.W[H+h]
+			an := g.B.W[2*H+h]
+			rowZ := g.Wx.W[h*g.In : (h+1)*g.In]
+			rowR := g.Wx.W[(H+h)*g.In : (H+h+1)*g.In]
+			rowN := g.Wx.W[(2*H+h)*g.In : (2*H+h+1)*g.In]
+			for k, xv := range x {
+				az += rowZ[k] * xv
+				ar += rowR[k] * xv
+				an += rowN[k] * xv
+			}
+			hrowZ := g.Wh.W[h*H : (h+1)*H]
+			hrowR := g.Wh.W[(H+h)*H : (H+h+1)*H]
+			hrowN := g.Wh.W[(2*H+h)*H : (2*H+h+1)*H]
+			var uhSum float64
+			for k, hp := range hPrev {
+				az += hrowZ[k] * hp
+				ar += hrowR[k] * hp
+				uhSum += hrowN[k] * hp
+			}
+			zv[h] = Sigmoid(az)
+			rv[h] = Sigmoid(ar)
+			uh[h] = uhSum
+			nv[h] = Tanh(an + rv[h]*uhSum)
+			hv[h] = (1-zv[h])*nv[h] + zv[h]*hPrev[h]
+		}
+		tape.xs = append(tape.xs, x)
+		tape.z = append(tape.z, zv)
+		tape.r = append(tape.r, rv)
+		tape.n = append(tape.n, nv)
+		tape.h = append(tape.h, hv)
+		tape.uhn = append(tape.uhn, uh)
+		hs[t] = hv
+		hPrev = hv
+	}
+	return hs, tape
+}
+
+// Backward runs BPTT over the tape. gh holds dL/dh per step (nil = zero).
+// It accumulates parameter gradients and returns input gradients.
+func (g *GRU) Backward(tape *GRUTape, gh [][]float64) [][]float64 {
+	H, In := g.Hidden, g.In
+	T := tape.T()
+	gxs := make([][]float64, T)
+	dhNext := make([]float64, H)
+	for t := T - 1; t >= 0; t-- {
+		dh := make([]float64, H)
+		copy(dh, dhNext)
+		if t < len(gh) && gh[t] != nil {
+			for h := 0; h < H; h++ {
+				dh[h] += gh[t][h]
+			}
+		}
+		zv, rv, nv := tape.z[t], tape.r[t], tape.n[t]
+		uh := tape.uhn[t]
+		var hPrev []float64
+		if t == 0 {
+			hPrev = tape.hPrev
+		} else {
+			hPrev = tape.h[t-1]
+		}
+		daz := make([]float64, H)
+		dar := make([]float64, H)
+		dan := make([]float64, H)
+		dhPrev := make([]float64, H)
+		for h := 0; h < H; h++ {
+			dz := dh[h] * (hPrev[h] - nv[h])
+			dn := dh[h] * (1 - zv[h])
+			dhPrev[h] += dh[h] * zv[h]
+			dan[h] = dn * (1 - nv[h]*nv[h])
+			dr := dan[h] * uh[h]
+			daz[h] = dz * zv[h] * (1 - zv[h])
+			dar[h] = dr * rv[h] * (1 - rv[h])
+		}
+		gx := make([]float64, In)
+		x := tape.xs[t]
+		for h := 0; h < H; h++ {
+			// z gate.
+			if daz[h] != 0 {
+				row := h
+				g.B.Grad[row] += daz[h]
+				w := g.Wx.W[row*In : (row+1)*In]
+				gw := g.Wx.Grad[row*In : (row+1)*In]
+				for k, xv := range x {
+					gw[k] += daz[h] * xv
+					gx[k] += daz[h] * w[k]
+				}
+				hw := g.Wh.W[row*H : (row+1)*H]
+				hgw := g.Wh.Grad[row*H : (row+1)*H]
+				for k, hp := range hPrev {
+					hgw[k] += daz[h] * hp
+					dhPrev[k] += daz[h] * hw[k]
+				}
+			}
+			// r gate.
+			if dar[h] != 0 {
+				row := H + h
+				g.B.Grad[row] += dar[h]
+				w := g.Wx.W[row*In : (row+1)*In]
+				gw := g.Wx.Grad[row*In : (row+1)*In]
+				for k, xv := range x {
+					gw[k] += dar[h] * xv
+					gx[k] += dar[h] * w[k]
+				}
+				hw := g.Wh.W[row*H : (row+1)*H]
+				hgw := g.Wh.Grad[row*H : (row+1)*H]
+				for k, hp := range hPrev {
+					hgw[k] += dar[h] * hp
+					dhPrev[k] += dar[h] * hw[k]
+				}
+			}
+			// n candidate: a_n = Wn x + b + r * (Un hPrev).
+			if dan[h] != 0 {
+				row := 2*H + h
+				g.B.Grad[row] += dan[h]
+				w := g.Wx.W[row*In : (row+1)*In]
+				gw := g.Wx.Grad[row*In : (row+1)*In]
+				for k, xv := range x {
+					gw[k] += dan[h] * xv
+					gx[k] += dan[h] * w[k]
+				}
+				// Through r ⊙ (Un hPrev): d/d(Un row) = dan * r * hPrev,
+				// d/dhPrev += dan * r * Un.
+				hw := g.Wh.W[row*H : (row+1)*H]
+				hgw := g.Wh.Grad[row*H : (row+1)*H]
+				f := dan[h] * rv[h]
+				for k, hp := range hPrev {
+					hgw[k] += f * hp
+					dhPrev[k] += f * hw[k]
+				}
+			}
+		}
+		gxs[t] = gx
+		dhNext = dhPrev
+	}
+	return gxs
+}

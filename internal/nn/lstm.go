@@ -1,0 +1,215 @@
+package nn
+
+import "prism5g/internal/rng"
+
+// LSTM is a single-layer long short-term memory cell applied over a
+// sequence. Gate order in the packed weight matrices is (i, f, g, o).
+type LSTM struct {
+	In, Hidden int
+	Wx         *Param // 4H x In
+	Wh         *Param // 4H x H
+	B          *Param // 4H
+}
+
+// NewLSTM creates an initialized LSTM. The forget-gate bias starts at 1,
+// the standard trick to ease gradient flow early in training.
+func NewLSTM(name string, in, hidden int, src *rng.Source) *LSTM {
+	l := &LSTM{
+		In: in, Hidden: hidden,
+		Wx: NewParam(name+".Wx", 4*hidden*in),
+		Wh: NewParam(name+".Wh", 4*hidden*hidden),
+		B:  NewParam(name+".b", 4*hidden),
+	}
+	l.Wx.InitUniform(src, in, hidden)
+	l.Wh.InitUniform(src, hidden, hidden)
+	for h := 0; h < hidden; h++ {
+		l.B.W[hidden+h] = 1 // forget gate
+	}
+	return l
+}
+
+// Params implements Module.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// LSTMTape records one sequence forward pass for BPTT.
+type LSTMTape struct {
+	xs           [][]float64 // inputs per step
+	i, f, g, o   [][]float64 // gate activations per step
+	c, h         [][]float64 // cell and hidden states per step
+	tanhC        [][]float64 // tanh(c) per step
+	cPrev, hPrev []float64   // initial states
+}
+
+// T returns the sequence length of the tape.
+func (t *LSTMTape) T() int { return len(t.xs) }
+
+// Forward runs the LSTM over seq (T steps of In features), starting from
+// zero states, and returns the hidden-state sequence plus the tape.
+func (l *LSTM) Forward(seq [][]float64) ([][]float64, *LSTMTape) {
+	return l.ForwardFrom(seq, nil, nil)
+}
+
+// ForwardFrom runs the LSTM from the given initial hidden and cell states
+// (nil means zeros), enabling encoder-decoder chaining.
+func (l *LSTM) ForwardFrom(seq [][]float64, h0, c0 []float64) ([][]float64, *LSTMTape) {
+	H := l.Hidden
+	if h0 == nil {
+		h0 = make([]float64, H)
+	}
+	if c0 == nil {
+		c0 = make([]float64, H)
+	}
+	tape := &LSTMTape{cPrev: c0, hPrev: h0}
+	hPrev := tape.hPrev
+	cPrev := tape.cPrev
+	hs := make([][]float64, len(seq))
+	for t, x := range seq {
+		iv := make([]float64, H)
+		fv := make([]float64, H)
+		gv := make([]float64, H)
+		ov := make([]float64, H)
+		cv := make([]float64, H)
+		hv := make([]float64, H)
+		tc := make([]float64, H)
+		for h := 0; h < H; h++ {
+			zi := l.B.W[h]
+			zf := l.B.W[H+h]
+			zg := l.B.W[2*H+h]
+			zo := l.B.W[3*H+h]
+			rowI := l.Wx.W[h*l.In : (h+1)*l.In]
+			rowF := l.Wx.W[(H+h)*l.In : (H+h+1)*l.In]
+			rowG := l.Wx.W[(2*H+h)*l.In : (2*H+h+1)*l.In]
+			rowO := l.Wx.W[(3*H+h)*l.In : (3*H+h+1)*l.In]
+			for k, xv := range x {
+				zi += rowI[k] * xv
+				zf += rowF[k] * xv
+				zg += rowG[k] * xv
+				zo += rowO[k] * xv
+			}
+			hrowI := l.Wh.W[h*H : (h+1)*H]
+			hrowF := l.Wh.W[(H+h)*H : (H+h+1)*H]
+			hrowG := l.Wh.W[(2*H+h)*H : (2*H+h+1)*H]
+			hrowO := l.Wh.W[(3*H+h)*H : (3*H+h+1)*H]
+			for k, hpv := range hPrev {
+				zi += hrowI[k] * hpv
+				zf += hrowF[k] * hpv
+				zg += hrowG[k] * hpv
+				zo += hrowO[k] * hpv
+			}
+			iv[h] = Sigmoid(zi)
+			fv[h] = Sigmoid(zf)
+			gv[h] = Tanh(zg)
+			ov[h] = Sigmoid(zo)
+			cv[h] = fv[h]*cPrev[h] + iv[h]*gv[h]
+			tc[h] = Tanh(cv[h])
+			hv[h] = ov[h] * tc[h]
+		}
+		tape.xs = append(tape.xs, x)
+		tape.i = append(tape.i, iv)
+		tape.f = append(tape.f, fv)
+		tape.g = append(tape.g, gv)
+		tape.o = append(tape.o, ov)
+		tape.c = append(tape.c, cv)
+		tape.tanhC = append(tape.tanhC, tc)
+		tape.h = append(tape.h, hv)
+		hs[t] = hv
+		hPrev, cPrev = hv, cv
+	}
+	return hs, tape
+}
+
+// Backward runs BPTT. gh is the gradient of the loss with respect to each
+// hidden state (len T; entries may be nil meaning zero). It accumulates
+// parameter gradients and returns gradients with respect to the inputs
+// plus the gradients with respect to the initial hidden and cell states.
+func (l *LSTM) Backward(tape *LSTMTape, gh [][]float64) (gxs [][]float64, dh0, dc0 []float64) {
+	return l.BackwardWithCellGrad(tape, gh, nil)
+}
+
+// BackwardWithCellGrad is Backward with an additional gradient dcT flowing
+// into the final cell state (used when a decoder was initialized from this
+// LSTM's terminal state).
+func (l *LSTM) BackwardWithCellGrad(tape *LSTMTape, gh [][]float64, dcT []float64) (gxs [][]float64, dh0, dc0 []float64) {
+	H, In := l.Hidden, l.In
+	T := tape.T()
+	gxs = make([][]float64, T)
+	dhNext := make([]float64, H)
+	dcNext := make([]float64, H)
+	if dcT != nil {
+		copy(dcNext, dcT)
+	}
+	for t := T - 1; t >= 0; t-- {
+		dh := make([]float64, H)
+		copy(dh, dhNext)
+		if t < len(gh) && gh[t] != nil {
+			for h := 0; h < H; h++ {
+				dh[h] += gh[t][h]
+			}
+		}
+		iv, fv, gv, ov := tape.i[t], tape.f[t], tape.g[t], tape.o[t]
+		tc := tape.tanhC[t]
+		var cPrev, hPrev []float64
+		if t == 0 {
+			cPrev, hPrev = tape.cPrev, tape.hPrev
+		} else {
+			cPrev, hPrev = tape.c[t-1], tape.h[t-1]
+		}
+		dzi := make([]float64, H)
+		dzf := make([]float64, H)
+		dzg := make([]float64, H)
+		dzo := make([]float64, H)
+		dc := make([]float64, H)
+		for h := 0; h < H; h++ {
+			do := dh[h] * tc[h]
+			dc[h] = dcNext[h] + dh[h]*ov[h]*(1-tc[h]*tc[h])
+			di := dc[h] * gv[h]
+			df := dc[h] * cPrev[h]
+			dg := dc[h] * iv[h]
+			dzi[h] = di * iv[h] * (1 - iv[h])
+			dzf[h] = df * fv[h] * (1 - fv[h])
+			dzg[h] = dg * (1 - gv[h]*gv[h])
+			dzo[h] = do * ov[h] * (1 - ov[h])
+		}
+		// Parameter grads and input/hidden grads.
+		gx := make([]float64, In)
+		dhPrev := make([]float64, H)
+		x := tape.xs[t]
+		for h := 0; h < H; h++ {
+			for gate, dz := range [4][]float64{dzi, dzf, dzg, dzo} {
+				z := dz[h]
+				if z == 0 {
+					continue
+				}
+				row := (gate*H + h)
+				l.B.Grad[row] += z
+				wrow := l.Wx.W[row*In : (row+1)*In]
+				grow := l.Wx.Grad[row*In : (row+1)*In]
+				for k, xv := range x {
+					grow[k] += z * xv
+					gx[k] += z * wrow[k]
+				}
+				hwrow := l.Wh.W[row*H : (row+1)*H]
+				hgrow := l.Wh.Grad[row*H : (row+1)*H]
+				for k, hpv := range hPrev {
+					hgrow[k] += z * hpv
+					dhPrev[k] += z * hwrow[k]
+				}
+			}
+		}
+		gxs[t] = gx
+		dhNext = dhPrev
+		for h := 0; h < H; h++ {
+			dcNext[h] = dc[h] * fv[h]
+		}
+	}
+	return gxs, dhNext, dcNext
+}
+
+// LastHidden returns the final hidden and cell state of the tape (zeros for
+// an empty sequence).
+func (t *LSTMTape) LastHidden() (h, c []float64) {
+	if len(t.h) == 0 {
+		return t.hPrev, t.cPrev
+	}
+	return t.h[len(t.h)-1], t.c[len(t.c)-1]
+}

@@ -1,0 +1,87 @@
+// Package nn is a small, dependency-free neural-network library built for
+// the throughput predictors in this repository: dense layers, LSTM cells
+// (with BPTT), temporal convolutional networks, sequence-to-sequence models,
+// mean-squared-error loss and the Adam optimizer. Everything is float64 and
+// deterministic given an rng.Source.
+//
+// The design is deliberately concrete rather than a general autograd graph:
+// each model implements an explicit Forward that records a tape of
+// intermediates and a Backward that consumes it. Gradients accumulate into
+// Param.Grad so weight-shared modules (the per-CC RNN of Prism5G) work
+// naturally: run Forward/Backward once per carrier and step the optimizer
+// once.
+package nn
+
+import (
+	"math"
+
+	"prism5g/internal/rng"
+)
+
+// Param is one learnable tensor (flattened) with its gradient accumulator.
+type Param struct {
+	Name string
+	W    []float64
+	Grad []float64
+}
+
+// NewParam allocates a zero-initialized parameter.
+func NewParam(name string, size int) *Param {
+	return &Param{Name: name, W: make([]float64, size), Grad: make([]float64, size)}
+}
+
+// InitUniform fills the parameter with Glorot/Xavier-style uniform values
+// scaled by fanIn+fanOut.
+func (p *Param) InitUniform(src *rng.Source, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range p.W {
+		p.W[i] = src.Range(-limit, limit)
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Size returns the number of scalar weights.
+func (p *Param) Size() int { return len(p.W) }
+
+// Module is anything exposing learnable parameters.
+type Module interface {
+	Params() []*Param
+}
+
+// ZeroGrads clears every parameter gradient of the module.
+func ZeroGrads(m Module) {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total scalar parameter count of a module.
+func NumParams(m Module) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Size()
+	}
+	return n
+}
+
+// Activation functions and their derivatives (by output value where cheap).
+
+// Sigmoid returns 1/(1+exp(-x)).
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Tanh returns the hyperbolic tangent.
+func Tanh(x float64) float64 { return math.Tanh(x) }
+
+// ReLU returns max(0, x).
+func ReLU(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}

@@ -1,0 +1,109 @@
+package nn
+
+import "prism5g/internal/rng"
+
+// Seq2Seq is an encoder-decoder LSTM with a linear head per decoder step —
+// the Lumos5G architecture the paper compares against. Training uses teacher
+// forcing (decoder inputs are the ground-truth previous values); inference
+// is autoregressive.
+type Seq2Seq struct {
+	Enc     *LSTM
+	Dec     *LSTM // 1-dimensional input: the previous target value
+	Head    *Dense
+	Horizon int
+}
+
+// NewSeq2Seq builds the model: in-dim encoder, hidden units, horizon steps.
+func NewSeq2Seq(name string, in, hidden, horizon int, src *rng.Source) *Seq2Seq {
+	return &Seq2Seq{
+		Enc:     NewLSTM(name+".enc", in, hidden, src),
+		Dec:     NewLSTM(name+".dec", 1, hidden, src),
+		Head:    NewDense(name+".head", hidden, 1, src),
+		Horizon: horizon,
+	}
+}
+
+// Params implements Module.
+func (s *Seq2Seq) Params() []*Param {
+	var ps []*Param
+	ps = append(ps, s.Enc.Params()...)
+	ps = append(ps, s.Dec.Params()...)
+	ps = append(ps, s.Head.Params()...)
+	return ps
+}
+
+// Seq2SeqTape records one forward pass.
+type Seq2SeqTape struct {
+	encTape *LSTMTape
+	decTape *LSTMTape
+	decHs   [][]float64
+	preds   []float64
+}
+
+// Forward encodes hist ([T][in]) and decodes Horizon predictions. teacher,
+// when non-nil, provides the ground-truth sequence for teacher forcing
+// (teacher[k] is the true value at horizon step k); the decoder's first
+// input is the last history value histLast.
+func (s *Seq2Seq) Forward(hist [][]float64, histLast float64, teacher []float64) ([]float64, *Seq2SeqTape) {
+	_, encTape := s.Enc.Forward(hist)
+	h0, c0 := encTape.LastHidden()
+	tape := &Seq2SeqTape{encTape: encTape}
+	if teacher != nil {
+		// Teacher forcing: all decoder inputs known up front.
+		ins := make([][]float64, s.Horizon)
+		ins[0] = []float64{histLast}
+		for k := 1; k < s.Horizon; k++ {
+			ins[k] = []float64{teacher[k-1]}
+		}
+		hs, decTape := s.Dec.ForwardFrom(ins, h0, c0)
+		tape.decTape = decTape
+		tape.decHs = hs
+		preds := make([]float64, s.Horizon)
+		for k, h := range hs {
+			preds[k] = s.Head.Forward(h)[0]
+		}
+		tape.preds = preds
+		return preds, tape
+	}
+	// Autoregressive inference: feed own predictions. Gradients are not
+	// supported on this path (tape.decTape covers the whole unrolled run
+	// but feedback gradients are ignored; train with teacher forcing).
+	preds := make([]float64, s.Horizon)
+	prev := histLast
+	h, c := h0, c0
+	var lastTape *LSTMTape
+	var hsAll [][]float64
+	for k := 0; k < s.Horizon; k++ {
+		hs, dt := s.Dec.ForwardFrom([][]float64{{prev}}, h, c)
+		lastTape = dt
+		h, c = dt.LastHidden()
+		preds[k] = s.Head.Forward(hs[0])[0]
+		prev = preds[k]
+		hsAll = append(hsAll, hs[0])
+	}
+	tape.decTape = lastTape
+	tape.decHs = hsAll
+	tape.preds = preds
+	return preds, tape
+}
+
+// Backward accumulates gradients for a teacher-forced forward pass given
+// dL/dpred.
+func (s *Seq2Seq) Backward(tape *Seq2SeqTape, gPred []float64) {
+	gh := make([][]float64, len(tape.decHs))
+	for k, h := range tape.decHs {
+		if gPred[k] == 0 {
+			continue
+		}
+		g := s.Head.Backward(h, []float64{gPred[k]})
+		gh[k] = g
+	}
+	_, dh0, dc0 := s.Dec.Backward(tape.decTape, gh)
+	// Push the state gradients into the encoder's last step.
+	encGh := make([][]float64, tape.encTape.T())
+	if tape.encTape.T() > 0 {
+		encGh[tape.encTape.T()-1] = dh0
+	}
+	// dc0 flows into the encoder's terminal cell state.
+	s.Enc.BackwardWithCellGrad(tape.encTape, encGh, dc0)
+}

@@ -1,0 +1,170 @@
+package nn
+
+import "prism5g/internal/rng"
+
+// TCN is a temporal convolutional network: a stack of causal dilated 1-D
+// convolutions with ReLU and residual connections, the baseline of Chen et
+// al. [9] used in the paper's comparison.
+type TCN struct {
+	In, Channels, Kernel int
+	Blocks               []*tcnBlock
+}
+
+type tcnBlock struct {
+	in, out, kernel, dilation int
+	// W is out x (in*kernel); B is out; proj (optional 1x1) is out x in.
+	W, B *Param
+	proj *Dense // nil when in == out (identity residual)
+}
+
+// NewTCN builds a TCN with the given number of blocks; block b uses
+// dilation 2^b, so the receptive field is kernel^... roughly 2^blocks.
+func NewTCN(name string, in, channels, kernel, blocks int, src *rng.Source) *TCN {
+	if kernel < 1 || blocks < 1 {
+		panic("nn: TCN needs kernel >= 1 and blocks >= 1")
+	}
+	t := &TCN{In: in, Channels: channels, Kernel: kernel}
+	for b := 0; b < blocks; b++ {
+		bin := channels
+		if b == 0 {
+			bin = in
+		}
+		blk := &tcnBlock{
+			in: bin, out: channels, kernel: kernel, dilation: 1 << b,
+			W: NewParam(name+".W", channels*bin*kernel),
+			B: NewParam(name+".b", channels),
+		}
+		blk.W.InitUniform(src, bin*kernel, channels)
+		if bin != channels {
+			blk.proj = NewDense(name+".proj", bin, channels, src)
+		}
+		t.Blocks = append(t.Blocks, blk)
+	}
+	return t
+}
+
+// Params implements Module.
+func (t *TCN) Params() []*Param {
+	var ps []*Param
+	for _, b := range t.Blocks {
+		ps = append(ps, b.W, b.B)
+		if b.proj != nil {
+			ps = append(ps, b.proj.Params()...)
+		}
+	}
+	return ps
+}
+
+// TCNTape stores per-block inputs and pre-activations.
+type TCNTape struct {
+	inputs  [][][]float64 // per block: [T][in]
+	preacts [][][]float64 // per block: [T][out] conv output before ReLU
+}
+
+// Forward runs the TCN over seq [T][In] returning [T][Channels].
+func (t *TCN) Forward(seq [][]float64) ([][]float64, *TCNTape) {
+	tape := &TCNTape{}
+	cur := seq
+	for _, blk := range t.Blocks {
+		tape.inputs = append(tape.inputs, cur)
+		pre := blk.conv(cur)
+		tape.preacts = append(tape.preacts, pre)
+		next := make([][]float64, len(cur))
+		for ti := range cur {
+			out := make([]float64, blk.out)
+			var res []float64
+			if blk.proj != nil {
+				res = blk.proj.Forward(cur[ti])
+			} else {
+				res = cur[ti]
+			}
+			for o := 0; o < blk.out; o++ {
+				out[o] = ReLU(pre[ti][o]) + res[o]
+			}
+			next[ti] = out
+		}
+		cur = next
+	}
+	return cur, tape
+}
+
+// conv computes the causal dilated convolution outputs (pre-activation).
+func (b *tcnBlock) conv(seq [][]float64) [][]float64 {
+	T := len(seq)
+	out := make([][]float64, T)
+	for ti := 0; ti < T; ti++ {
+		y := make([]float64, b.out)
+		for o := 0; o < b.out; o++ {
+			s := b.B.W[o]
+			for k := 0; k < b.kernel; k++ {
+				srcT := ti - (b.kernel-1-k)*b.dilation
+				if srcT < 0 {
+					continue // causal zero padding
+				}
+				w := b.W.W[(o*b.kernel+k)*b.in : (o*b.kernel+k+1)*b.in]
+				for i, xv := range seq[srcT] {
+					s += w[i] * xv
+				}
+			}
+			y[o] = s
+		}
+		out[ti] = y
+	}
+	return out
+}
+
+// Backward propagates gradients gy ([T][Channels], nil entries = zero)
+// through the network, accumulating parameter grads, and returns the
+// gradient with respect to the input sequence.
+func (t *TCN) Backward(tape *TCNTape, gy [][]float64) [][]float64 {
+	g := gy
+	for bi := len(t.Blocks) - 1; bi >= 0; bi-- {
+		blk := t.Blocks[bi]
+		in := tape.inputs[bi]
+		pre := tape.preacts[bi]
+		T := len(in)
+		gIn := make([][]float64, T)
+		for ti := range gIn {
+			gIn[ti] = make([]float64, blk.in)
+		}
+		for ti := 0; ti < T; ti++ {
+			if ti >= len(g) || g[ti] == nil {
+				continue
+			}
+			// Residual path.
+			if blk.proj != nil {
+				gres := blk.proj.Backward(in[ti], g[ti])
+				for i := range gres {
+					gIn[ti][i] += gres[i]
+				}
+			} else {
+				for i := range g[ti] {
+					gIn[ti][i] += g[ti][i]
+				}
+			}
+			// Conv path through ReLU.
+			for o := 0; o < blk.out; o++ {
+				gv := g[ti][o]
+				if gv == 0 || pre[ti][o] <= 0 {
+					continue
+				}
+				blk.B.Grad[o] += gv
+				for k := 0; k < blk.kernel; k++ {
+					srcT := ti - (blk.kernel-1-k)*blk.dilation
+					if srcT < 0 {
+						continue
+					}
+					base := (o*blk.kernel + k) * blk.in
+					w := blk.W.W[base : base+blk.in]
+					gw := blk.W.Grad[base : base+blk.in]
+					for i, xv := range in[srcT] {
+						gw[i] += gv * xv
+						gIn[srcT][i] += gv * w[i]
+					}
+				}
+			}
+		}
+		g = gIn
+	}
+	return g
+}

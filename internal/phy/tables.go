@@ -1,0 +1,174 @@
+// Package phy implements the 5G NR / 4G LTE physical-layer model that the
+// paper's throughput analysis rests on: the 3GPP MCS and CQI tables, the
+// transport-block-size (TBS) procedure of TS 38.214 §5.1.3.2 (paper Appendix
+// B.1, Eq. 1 and Fig. 9), resource-block counts per channel bandwidth
+// (TS 38.101-1), and a radio channel model (TR 38.901-style path loss with
+// correlated shadowing) that produces the UE-observable quantities the
+// predictor consumes: RSRP, RSRQ, SINR, CQI, BLER, MCS, #RB and MIMO layers.
+package phy
+
+import "fmt"
+
+// MCS is one row of a modulation-and-coding-scheme table.
+type MCS struct {
+	Index int
+	// Qm is the modulation order (2=QPSK, 4=16QAM, 6=64QAM, 8=256QAM).
+	Qm int
+	// R1024 is the target code rate multiplied by 1024.
+	R1024 float64
+}
+
+// Rate returns the code rate R in (0, 1).
+func (m MCS) Rate() float64 { return m.R1024 / 1024 }
+
+// Efficiency returns the spectral efficiency in bits per resource element.
+func (m MCS) Efficiency() float64 { return float64(m.Qm) * m.Rate() }
+
+// MCSTable256QAM is TS 38.214 Table 5.1.3.1-2 (the 256QAM MCS table used by
+// all mid-band deployments we observed).
+var MCSTable256QAM = []MCS{
+	{0, 2, 120}, {1, 2, 193}, {2, 2, 308}, {3, 2, 449}, {4, 2, 602},
+	{5, 4, 378}, {6, 4, 434}, {7, 4, 490}, {8, 4, 553}, {9, 4, 616},
+	{10, 4, 658}, {11, 6, 466}, {12, 6, 517}, {13, 6, 567}, {14, 6, 616},
+	{15, 6, 666}, {16, 6, 719}, {17, 6, 772}, {18, 6, 822}, {19, 6, 873},
+	{20, 8, 682.5}, {21, 8, 711}, {22, 8, 754}, {23, 8, 797}, {24, 8, 841},
+	{25, 8, 885}, {26, 8, 916.5}, {27, 8, 948},
+}
+
+// CQIRow is one row of a channel-quality-indicator table.
+type CQIRow struct {
+	Index int
+	Qm    int
+	R1024 float64
+	// Efficiency in bits/s/Hz, straight from the spec table.
+	Efficiency float64
+}
+
+// CQITable256QAM is TS 38.214 Table 5.2.2.1-3. Index 0 means out of range.
+var CQITable256QAM = []CQIRow{
+	{1, 2, 78, 0.1523}, {2, 2, 193, 0.3770}, {3, 2, 449, 0.8770},
+	{4, 4, 378, 1.4766}, {5, 4, 490, 1.9141}, {6, 4, 616, 2.4063},
+	{7, 6, 466, 2.7305}, {8, 6, 567, 3.3223}, {9, 6, 666, 3.9023},
+	{10, 6, 772, 4.5234}, {11, 6, 873, 5.1152}, {12, 8, 711, 5.5547},
+	{13, 8, 797, 6.2266}, {14, 8, 885, 6.9141}, {15, 8, 948, 7.4063},
+}
+
+// MaxCQI is the largest reportable CQI index.
+const MaxCQI = 15
+
+// nrRBTable maps sub-carrier spacing (kHz) and channel bandwidth (MHz) to the
+// maximum transmission bandwidth N_RB (TS 38.101-1 Table 5.3.2-1 for FR1 and
+// TS 38.101-2 Table 5.3.2-1 for FR2).
+var nrRBTable = map[int]map[float64]int{
+	15: {5: 25, 10: 52, 15: 79, 20: 106, 25: 133, 30: 160, 40: 216, 50: 270},
+	30: {5: 11, 10: 24, 15: 38, 20: 51, 25: 65, 30: 78, 40: 106, 50: 133,
+		60: 162, 70: 189, 80: 217, 90: 245, 100: 273},
+	60: {10: 11, 15: 18, 20: 24, 25: 31, 30: 38, 40: 51, 50: 65, 60: 79,
+		70: 93, 80: 107, 90: 121, 100: 135, 200: 264},
+	120: {50: 32, 100: 66, 200: 132, 400: 264},
+}
+
+// lteRBTable maps LTE channel bandwidth (MHz) to N_RB (TS 36.101).
+var lteRBTable = map[float64]int{1.4: 6, 3: 15, 5: 25, 10: 50, 15: 75, 20: 100}
+
+// NumRB returns the configured number of resource blocks for a channel of
+// the given bandwidth and SCS. isNR selects the NR vs LTE table.
+func NumRB(isNR bool, scsKHz int, bwMHz float64) (int, error) {
+	if !isNR {
+		if n, ok := lteRBTable[bwMHz]; ok {
+			return n, nil
+		}
+		return 0, fmt.Errorf("phy: no LTE RB entry for %.1f MHz", bwMHz)
+	}
+	row, ok := nrRBTable[scsKHz]
+	if !ok {
+		return 0, fmt.Errorf("phy: no NR RB table for %d kHz SCS", scsKHz)
+	}
+	if n, ok := row[bwMHz]; ok {
+		return n, nil
+	}
+	return 0, fmt.Errorf("phy: no NR RB entry for %d kHz / %.1f MHz", scsKHz, bwMHz)
+}
+
+// SlotsPerSecond returns the slot rate for a sub-carrier spacing: 15 kHz has
+// 1 ms slots, each doubling of SCS halves the slot duration.
+func SlotsPerSecond(scsKHz int) int {
+	switch scsKHz {
+	case 15:
+		return 1000
+	case 30:
+		return 2000
+	case 60:
+		return 4000
+	case 120:
+		return 8000
+	case 240:
+		return 16000
+	default:
+		return 1000
+	}
+}
+
+// SymbolsPerSlot is the number of OFDM symbols in a normal-CP slot.
+const SymbolsPerSlot = 14
+
+// SubcarriersPerRB is the number of subcarriers in one resource block.
+const SubcarriersPerRB = 12
+
+// maxREPerRB caps usable REs per RB per the 38.214 TBS procedure.
+const maxREPerRB = 156
+
+// REOverheadPerRB is the modeled DMRS + control overhead in REs per RB per
+// slot (one front-loaded DMRS symbol plus PDCCH/CSI-RS allowance).
+const REOverheadPerRB = 18
+
+// NumRE returns the number of resource elements available for data in one
+// slot across nRB resource blocks when nSymb symbols carry PDSCH, following
+// the 38.214 §5.1.3.2 step-1 computation.
+func NumRE(nRB, nSymb int) int {
+	perRB := SubcarriersPerRB*nSymb - REOverheadPerRB
+	if perRB < 0 {
+		perRB = 0
+	}
+	if perRB > maxREPerRB {
+		perRB = maxREPerRB
+	}
+	return perRB * nRB
+}
+
+// CQIFromEfficiency returns the largest CQI whose spectral efficiency does
+// not exceed eff (bits/s/Hz), or 0 if even CQI 1 is out of reach.
+func CQIFromEfficiency(eff float64) int {
+	cqi := 0
+	for _, row := range CQITable256QAM {
+		if row.Efficiency <= eff {
+			cqi = row.Index
+		} else {
+			break
+		}
+	}
+	return cqi
+}
+
+// MCSFromCQI maps a reported CQI to the MCS the scheduler would pick: the
+// largest MCS whose efficiency does not exceed the CQI row's efficiency.
+// CQI 0 maps to MCS 0 (the scheduler must still pick something if it
+// schedules at all).
+func MCSFromCQI(cqi int) MCS {
+	if cqi <= 0 {
+		return MCSTable256QAM[0]
+	}
+	if cqi > MaxCQI {
+		cqi = MaxCQI
+	}
+	target := CQITable256QAM[cqi-1].Efficiency
+	best := MCSTable256QAM[0]
+	for _, m := range MCSTable256QAM {
+		if m.Efficiency() <= target {
+			best = m
+		} else {
+			break
+		}
+	}
+	return best
+}

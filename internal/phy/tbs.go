@@ -1,0 +1,93 @@
+package phy
+
+import "math"
+
+// tbsTable is TS 38.214 Table 5.1.3.2-1: valid transport block sizes for
+// N_info <= 3824 bits.
+var tbsTable = []int{
+	24, 32, 40, 48, 56, 64, 72, 80, 88, 96, 104, 112, 120, 128, 136, 144,
+	152, 160, 168, 176, 184, 192, 208, 224, 240, 256, 272, 288, 304, 320,
+	336, 352, 368, 384, 408, 432, 456, 480, 504, 528, 552, 576, 608, 640,
+	672, 704, 736, 768, 808, 848, 888, 928, 984, 1032, 1064, 1128, 1160,
+	1192, 1224, 1256, 1288, 1320, 1352, 1416, 1480, 1544, 1608, 1672, 1736,
+	1800, 1864, 1928, 2024, 2088, 2152, 2216, 2280, 2408, 2472, 2536, 2600,
+	2664, 2728, 2792, 2856, 2976, 3104, 3240, 3368, 3496, 3624, 3752, 3824,
+}
+
+// TBS computes the transport block size in bits delivered in one slot, per
+// the TS 38.214 §5.1.3.2 procedure (paper Appendix B.1 Eq. 1):
+//
+//	N_info = N_RE * R * Qm * v
+//
+// followed by the spec's quantizer. nRE is the number of data resource
+// elements in the slot, mcs the modulation-and-coding row, layers the number
+// of MIMO layers v.
+func TBS(nRE int, mcs MCS, layers int) int {
+	if nRE <= 0 || layers <= 0 {
+		return 0
+	}
+	nInfo := float64(nRE) * mcs.Rate() * float64(mcs.Qm) * float64(layers)
+	if nInfo <= 0 {
+		return 0
+	}
+	if nInfo <= 3824 {
+		n := math.Max(3, math.Floor(math.Log2(nInfo))-6)
+		step := math.Pow(2, n)
+		nInfoQ := math.Max(24, step*math.Floor(nInfo/step))
+		for _, tbs := range tbsTable {
+			if float64(tbs) >= nInfoQ {
+				return tbs
+			}
+		}
+		return tbsTable[len(tbsTable)-1]
+	}
+	n := math.Floor(math.Log2(nInfo-24)) - 5
+	step := math.Pow(2, n)
+	nInfoQ := math.Max(3840, step*math.Round((nInfo-24)/step))
+	var c float64
+	switch {
+	case mcs.Rate() <= 0.25:
+		c = math.Ceil((nInfoQ + 24) / 3816)
+	case nInfoQ > 8424:
+		c = math.Ceil((nInfoQ + 24) / 8424)
+	default:
+		c = 1
+	}
+	return int(8*c*math.Ceil((nInfoQ+24)/(8*c))) - 24
+}
+
+// SlotCapacityBits returns the TBS for a full-bandwidth allocation of nRB
+// resource blocks over nSymb PDSCH symbols.
+func SlotCapacityBits(nRB, nSymb int, mcs MCS, layers int) int {
+	return TBS(NumRE(nRB, nSymb), mcs, layers)
+}
+
+// TDDDownlinkFraction is the fraction of slots carrying downlink data in the
+// common DDDSU-style TDD pattern US mid-band deployments use.
+const TDDDownlinkFraction = 0.74
+
+// ChannelCapacityMbps returns the theoretical downlink capacity in Mbps of a
+// channel with the given configuration, assuming every slot is granted.
+// tdd applies the TDD downlink slot fraction; FDD channels carry DL in every
+// slot. This is the "ideal channel condition" capacity of paper Fig 1/10.
+func ChannelCapacityMbps(isNR bool, scsKHz int, bwMHz float64, mcs MCS, layers int, tdd bool) (float64, error) {
+	nRB, err := NumRB(isNR, scsKHz, bwMHz)
+	if err != nil {
+		return 0, err
+	}
+	bitsPerSlot := SlotCapacityBits(nRB, SymbolsPerSlot-1, mcs, layers)
+	slots := float64(SlotsPerSecond(scsKHz))
+	if tdd {
+		slots *= TDDDownlinkFraction
+	}
+	return float64(bitsPerSlot) * slots / 1e6, nil
+}
+
+// SpectralEfficiency returns the achieved bits/s/Hz of a channel running at
+// capacityMbps over bwMHz of spectrum — the quantity in paper Fig 10.
+func SpectralEfficiency(capacityMbps, bwMHz float64) float64 {
+	if bwMHz <= 0 {
+		return 0
+	}
+	return capacityMbps / bwMHz
+}

@@ -1,0 +1,177 @@
+package predictors
+
+import (
+	"prism5g/internal/nn"
+	"prism5g/internal/rng"
+	"prism5g/internal/trace"
+)
+
+// LSTMPredictor is the LSTM baseline [28]: one recurrent pass over the
+// aggregate feature sequence, with a linear head emitting the full horizon.
+type LSTMPredictor struct {
+	Hidden  int
+	Horizon int
+	Opts    TrainOpts
+
+	lstm *nn.LSTM
+	head *nn.Dense
+}
+
+// NewLSTMPredictor builds the baseline (paper: two-layer 128 hidden; we use
+// one layer sized by hidden, which trains far faster at equal accuracy on
+// these trace sizes).
+func NewLSTMPredictor(hidden, horizon int, opts TrainOpts) *LSTMPredictor {
+	src := rng.New(opts.Seed ^ 0x15717)
+	return &LSTMPredictor{
+		Hidden: hidden, Horizon: horizon, Opts: opts,
+		lstm: nn.NewLSTM("lstm", AggFeatureDim, hidden, src),
+		head: nn.NewDense("lstm.head", hidden, horizon, src),
+	}
+}
+
+// Name implements Predictor.
+func (p *LSTMPredictor) Name() string { return "LSTM" }
+
+// Params implements seqModel.
+func (p *LSTMPredictor) Params() []*nn.Param {
+	return append(p.lstm.Params(), p.head.Params()...)
+}
+
+// ForwardBackward implements SeqModel.
+func (p *LSTMPredictor) ForwardBackward(w trace.Window, gScale float64) []float64 {
+	seq := AggFeatures(w)
+	hs, tape := p.lstm.Forward(seq)
+	last := hs[len(hs)-1]
+	y := p.head.Forward(last)
+	if gScale > 0 {
+		g := nn.MSEGrad(y, w.Y)
+		for i := range g {
+			g[i] *= gScale
+		}
+		gh := make([][]float64, len(hs))
+		gh[len(hs)-1] = p.head.Backward(last, g)
+		p.lstm.Backward(tape, gh)
+	}
+	return y
+}
+
+// Train implements Predictor.
+func (p *LSTMPredictor) Train(train, val []trace.Window) TrainReport {
+	return TrainLoop(p, train, val, p.Opts)
+}
+
+// Predict implements Predictor.
+func (p *LSTMPredictor) Predict(w trace.Window) []float64 {
+	return p.ForwardBackward(w, 0)
+}
+
+// TCNPredictor is the temporal-convolutional baseline [9].
+type TCNPredictor struct {
+	Channels, Kernel, Blocks int
+	Horizon                  int
+	Opts                     TrainOpts
+
+	tcn  *nn.TCN
+	head *nn.Dense
+}
+
+// NewTCNPredictor builds the TCN baseline.
+func NewTCNPredictor(channels, horizon int, opts TrainOpts) *TCNPredictor {
+	src := rng.New(opts.Seed ^ 0x7c17)
+	return &TCNPredictor{
+		Channels: channels, Kernel: 2, Blocks: 3, Horizon: horizon, Opts: opts,
+		tcn:  nn.NewTCN("tcn", AggFeatureDim, channels, 2, 3, src),
+		head: nn.NewDense("tcn.head", channels, horizon, src),
+	}
+}
+
+// Name implements Predictor.
+func (p *TCNPredictor) Name() string { return "TCN" }
+
+// Params implements seqModel.
+func (p *TCNPredictor) Params() []*nn.Param {
+	return append(p.tcn.Params(), p.head.Params()...)
+}
+
+// ForwardBackward implements SeqModel.
+func (p *TCNPredictor) ForwardBackward(w trace.Window, gScale float64) []float64 {
+	seq := AggFeatures(w)
+	out, tape := p.tcn.Forward(seq)
+	last := out[len(out)-1]
+	y := p.head.Forward(last)
+	if gScale > 0 {
+		g := nn.MSEGrad(y, w.Y)
+		for i := range g {
+			g[i] *= gScale
+		}
+		gy := make([][]float64, len(out))
+		gy[len(out)-1] = p.head.Backward(last, g)
+		p.tcn.Backward(tape, gy)
+	}
+	return y
+}
+
+// Train implements Predictor.
+func (p *TCNPredictor) Train(train, val []trace.Window) TrainReport {
+	return TrainLoop(p, train, val, p.Opts)
+}
+
+// Predict implements Predictor.
+func (p *TCNPredictor) Predict(w trace.Window) []float64 {
+	return p.ForwardBackward(w, 0)
+}
+
+// Lumos5G is the Seq2Seq baseline: Lumos5G's model architecture [32]
+// (encoder-decoder) over UE-side context features. The mmWave-specific
+// user-context features (panel angle, orientation) are omitted per the
+// paper's footnote 4.
+type Lumos5G struct {
+	Hidden  int
+	Horizon int
+	Opts    TrainOpts
+
+	s2s *nn.Seq2Seq
+}
+
+// NewLumos5G builds the Seq2Seq baseline.
+func NewLumos5G(hidden, horizon int, opts TrainOpts) *Lumos5G {
+	src := rng.New(opts.Seed ^ 0x10305)
+	return &Lumos5G{
+		Hidden: hidden, Horizon: horizon, Opts: opts,
+		s2s: nn.NewSeq2Seq("lumos", AggFeatureDim, hidden, horizon, src),
+	}
+}
+
+// Name implements Predictor.
+func (p *Lumos5G) Name() string { return "Lumos5G" }
+
+// Params implements seqModel.
+func (p *Lumos5G) Params() []*nn.Param { return p.s2s.Params() }
+
+// ForwardBackward implements SeqModel.
+func (p *Lumos5G) ForwardBackward(w trace.Window, gScale float64) []float64 {
+	seq := AggFeatures(w)
+	histLast := w.AggHist[len(w.AggHist)-1]
+	if gScale > 0 {
+		// Teacher forcing during training.
+		y, tape := p.s2s.Forward(seq, histLast, w.Y)
+		g := nn.MSEGrad(y, w.Y)
+		for i := range g {
+			g[i] *= gScale
+		}
+		p.s2s.Backward(tape, g)
+		return y
+	}
+	y, _ := p.s2s.Forward(seq, histLast, nil)
+	return y
+}
+
+// Train implements Predictor.
+func (p *Lumos5G) Train(train, val []trace.Window) TrainReport {
+	return TrainLoop(p, train, val, p.Opts)
+}
+
+// Predict implements Predictor.
+func (p *Lumos5G) Predict(w trace.Window) []float64 {
+	return p.ForwardBackward(w, 0)
+}

@@ -1,0 +1,209 @@
+// Package predictors wires the learning stack to the trace data model and
+// implements the paper's baseline throughput predictors: Prophet [44],
+// LSTM [28], TCN [9], Lumos5G's Seq2Seq [32], GBDT [32] and RF [4], plus the
+// harmonic-mean estimator MPC uses. All baselines are CA-blind: they see the
+// aggregate throughput history and the PCell's radio features — exactly the
+// "blindly predict overall throughput" framing the paper contrasts with
+// Prism5G's per-CC modeling.
+package predictors
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"prism5g/internal/nn"
+	"prism5g/internal/rng"
+	"prism5g/internal/stats"
+	"prism5g/internal/trace"
+)
+
+// Predictor forecasts the scaled aggregate throughput over the horizon.
+type Predictor interface {
+	// Name identifies the predictor in result tables.
+	Name() string
+	// Train fits the predictor.
+	Train(train, val []trace.Window) TrainReport
+	// Predict returns the scaled aggregate forecast, one value per
+	// horizon step.
+	Predict(w trace.Window) []float64
+}
+
+// TrainReport summarizes a training run.
+type TrainReport struct {
+	Epochs    int
+	TrainRMSE float64
+	ValRMSE   float64
+	Duration  time.Duration
+}
+
+// String implements fmt.Stringer.
+func (r TrainReport) String() string {
+	return fmt.Sprintf("epochs=%d train=%.4f val=%.4f in %v", r.Epochs, r.TrainRMSE, r.ValRMSE, r.Duration)
+}
+
+// Evaluate computes the RMSE of a predictor over windows, pooling every
+// horizon step (the paper's Table 4 metric, in scaled units).
+func Evaluate(p Predictor, ws []trace.Window) float64 {
+	var preds, truths []float64
+	for _, w := range ws {
+		y := p.Predict(w)
+		preds = append(preds, y...)
+		truths = append(truths, w.Y...)
+	}
+	return stats.RMSE(preds, truths)
+}
+
+// AggFeatureDim is the per-step feature dimension the CA-blind baselines
+// consume: the aggregate throughput history plus the serving (primary)
+// cell's radio-quality features. Crucially it contains neither per-CC
+// decomposition, nor the RRC event channel, nor the CC count — prior work
+// [28, 9, 32] predicts overall throughput from exactly this kind of
+// serving-cell view, which is the gap Prism5G exploits.
+const AggFeatureDim = 9
+
+// AggFeatures extracts the baseline feature sequence [T][AggFeatureDim]
+// from a window.
+func AggFeatures(w trace.Window) [][]float64 {
+	T := len(w.AggHist)
+	out := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		pc := w.X[0][t] // PCell slot
+		out[t] = []float64{
+			w.AggHist[t],
+			pc[trace.FRSRP],
+			pc[trace.FRSRQ],
+			pc[trace.FSINR],
+			pc[trace.FCQI],
+			pc[trace.FBLER],
+			pc[trace.FRB],
+			pc[trace.FLayers],
+			pc[trace.FMCS],
+		}
+	}
+	return out
+}
+
+// FlattenAggFeatures returns the [T*AggFeatureDim] vector the tree-based
+// baselines consume (the paper's R^(T,k) -> R^(T*k,1) reshaping).
+func FlattenAggFeatures(w trace.Window) []float64 {
+	seq := AggFeatures(w)
+	out := make([]float64, 0, len(seq)*AggFeatureDim)
+	for _, row := range seq {
+		out = append(out, row...)
+	}
+	return out
+}
+
+// TrainOpts configures neural-network training.
+type TrainOpts struct {
+	Epochs   int
+	Batch    int
+	LR       float64
+	Patience int // early-stop after this many non-improving epochs
+	Seed     uint64
+}
+
+// DefaultTrainOpts mirrors the paper's setup (Adam lr 0.01, batch 128, max
+// 200 epochs) with early stopping.
+func DefaultTrainOpts() TrainOpts {
+	return TrainOpts{Epochs: 200, Batch: 128, LR: 0.01, Patience: 12, Seed: 1}
+}
+
+// SeqModel is the minimal contract the shared training loop needs. It is
+// implemented by the neural baselines here and by Prism5G in internal/core.
+type SeqModel interface {
+	Params() []*nn.Param
+	// ForwardBackward runs one example; when gScale > 0 it also
+	// backpropagates MSE loss scaled by gScale. It returns the
+	// prediction.
+	ForwardBackward(w trace.Window, gScale float64) []float64
+}
+
+// TrainLoop runs mini-batch Adam training with early stopping on val RMSE,
+// restoring the best-seen weights (the paper reports the model selected on
+// validation performance).
+func TrainLoop(m SeqModel, train, val []trace.Window, opts TrainOpts) TrainReport {
+	if opts.Epochs == 0 {
+		opts = DefaultTrainOpts()
+	}
+	start := time.Now()
+	src := rng.New(opts.Seed ^ 0xfeed)
+	opt := nn.NewAdam(m.Params(), opts.LR)
+	bestVal := math.Inf(1)
+	var bestW [][]float64
+	badEpochs := 0
+	epochs := 0
+	evalSet := func(ws []trace.Window) float64 {
+		var se float64
+		n := 0
+		for _, w := range ws {
+			y := m.ForwardBackward(w, 0)
+			for i := range y {
+				d := y[i] - w.Y[i]
+				se += d * d
+				n++
+			}
+		}
+		if n == 0 {
+			return math.NaN()
+		}
+		return math.Sqrt(se / float64(n))
+	}
+	order := make([]int, len(train))
+	for i := range order {
+		order[i] = i
+	}
+	for ep := 0; ep < opts.Epochs; ep++ {
+		epochs = ep + 1
+		src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for bi := 0; bi < len(order); bi += opts.Batch {
+			end := bi + opts.Batch
+			if end > len(order) {
+				end = len(order)
+			}
+			scale := 1.0 / float64(end-bi)
+			for _, wi := range order[bi:end] {
+				m.ForwardBackward(train[wi], scale)
+			}
+			opt.Step()
+		}
+		v := evalSet(val)
+		if math.IsNaN(v) {
+			v = evalSet(train)
+		}
+		if v < bestVal-1e-6 {
+			bestVal = v
+			bestW = snapshot(m.Params())
+			badEpochs = 0
+		} else {
+			badEpochs++
+			if badEpochs >= opts.Patience {
+				break
+			}
+		}
+	}
+	if bestW != nil {
+		restore(m.Params(), bestW)
+	}
+	return TrainReport{
+		Epochs:    epochs,
+		TrainRMSE: evalSet(train),
+		ValRMSE:   bestVal,
+		Duration:  time.Since(start),
+	}
+}
+
+func snapshot(ps []*nn.Param) [][]float64 {
+	out := make([][]float64, len(ps))
+	for i, p := range ps {
+		out[i] = append([]float64(nil), p.W...)
+	}
+	return out
+}
+
+func restore(ps []*nn.Param, w [][]float64) {
+	for i, p := range ps {
+		copy(p.W, w[i])
+	}
+}

@@ -1,0 +1,161 @@
+package qoe
+
+import (
+	"fmt"
+	"math"
+)
+
+// ABRConfig models the MPC-based [50] UHD video-on-demand player of §7:
+// chunked streaming with a client buffer, a bitrate ladder up to 16K video,
+// and model-predictive quality planning over a lookahead horizon.
+type ABRConfig struct {
+	// ChunkS is the chunk duration in seconds.
+	ChunkS float64
+	// LadderMbps is the paper's 16K ladder:
+	// [360p, 480p, 2K, 4K, 8K, 16K].
+	LadderMbps []float64
+	// BufferCapS caps the client buffer.
+	BufferCapS float64
+	// Lookahead is the MPC horizon in chunks.
+	Lookahead int
+	// RebufferPenalty weights stall seconds in the MPC objective (in
+	// Mbps-equivalents, as in robustMPC).
+	RebufferPenalty float64
+	// SmoothPenalty weights bitrate switches.
+	SmoothPenalty float64
+	// Chunks is the video length in chunks.
+	Chunks int
+}
+
+// DefaultABRConfig mirrors the paper's §7 setup.
+func DefaultABRConfig() ABRConfig {
+	return ABRConfig{
+		ChunkS:          2,
+		LadderMbps:      []float64{1.5, 2.5, 40.71, 152.66, 280, 585},
+		BufferCapS:      16,
+		Lookahead:       4,
+		RebufferPenalty: 300,
+		SmoothPenalty:   0.5,
+		Chunks:          60,
+	}
+}
+
+// ABRResult is the QoE outcome of one streaming session (Figs 20/21).
+type ABRResult struct {
+	Chunks      int
+	AvgMbps     float64
+	StallTimeS  float64
+	Stalls      int
+	Switches    int
+	AvgLevel    float64
+	SessionTime float64
+	// StartupS is the initial buffering delay, which players report
+	// separately from mid-stream rebuffering.
+	StartupS float64
+}
+
+// String implements fmt.Stringer.
+func (r ABRResult) String() string {
+	return fmt.Sprintf("chunks=%d avgRate=%.1fMbps stalls=%d stallTime=%.1fs switches=%d",
+		r.Chunks, r.AvgMbps, r.Stalls, r.StallTimeS, r.Switches)
+}
+
+// RunABR streams Chunks chunks over the channel, planning each chunk with
+// MPC over the predictor's horizon forecast.
+func RunABR(cfg ABRConfig, ch *Channel, pred BandwidthPredictor) ABRResult {
+	var res ABRResult
+	now := 0.0
+	buffer := 0.0
+	level := 0
+	var rateSum, levelSum float64
+	for chunk := 0; chunk < cfg.Chunks; chunk++ {
+		bw := pred.PredictMbps(now, float64(cfg.Lookahead)*cfg.ChunkS)
+		next := mpcPlan(cfg, bw, buffer, level)
+		chunkMb := cfg.LadderMbps[next] * cfg.ChunkS
+		finish := ch.Download(chunkMb, now)
+		dl := finish - now
+		pred.Observe(chunkMb / dl)
+		// Buffer dynamics: drains while downloading, fills by ChunkS.
+		// The first chunk's wait is startup delay, not a rebuffer.
+		if dl > buffer {
+			if chunk == 0 {
+				res.StartupS = dl
+			} else {
+				res.StallTimeS += dl - buffer
+				res.Stalls++
+			}
+			buffer = 0
+		} else {
+			buffer -= dl
+		}
+		buffer += cfg.ChunkS
+		if buffer > cfg.BufferCapS {
+			// Player idles until the buffer drains below cap.
+			idle := buffer - cfg.BufferCapS
+			finish += idle
+			buffer = cfg.BufferCapS
+		}
+		if next != level && chunk > 0 {
+			res.Switches++
+		}
+		level = next
+		rateSum += cfg.LadderMbps[next]
+		levelSum += float64(next + 1)
+		now = finish
+		res.Chunks++
+	}
+	if res.Chunks > 0 {
+		res.AvgMbps = rateSum / float64(res.Chunks)
+		res.AvgLevel = levelSum / float64(res.Chunks)
+	}
+	res.SessionTime = now
+	return res
+}
+
+// mpcPlan picks the next chunk's level by enumerating quality sequences
+// over the lookahead horizon under the predicted bandwidth, maximizing
+// bitrate - rebuffer - smoothness (the MPC objective), and returning the
+// first step of the best plan.
+func mpcPlan(cfg ABRConfig, bwMbps, bufferS float64, prevLevel int) int {
+	L := len(cfg.LadderMbps)
+	if bwMbps <= 0 {
+		return 0
+	}
+	bestScore := math.Inf(-1)
+	bestFirst := 0
+	// Depth-first enumeration of L^Lookahead plans. Lookahead 4 over a
+	// 6-level ladder is 1296 plans: cheap.
+	var walk func(step int, buffer float64, prev int, score float64, first int)
+	walk = func(step int, buffer float64, prev int, score float64, first int) {
+		if step == cfg.Lookahead {
+			if score > bestScore {
+				bestScore = score
+				bestFirst = first
+			}
+			return
+		}
+		for lvl := 0; lvl < L; lvl++ {
+			dl := cfg.LadderMbps[lvl] * cfg.ChunkS / bwMbps
+			b := buffer
+			s := score + cfg.LadderMbps[lvl]
+			if dl > b {
+				s -= cfg.RebufferPenalty * (dl - b)
+				b = 0
+			} else {
+				b -= dl
+			}
+			b += cfg.ChunkS
+			if b > cfg.BufferCapS {
+				b = cfg.BufferCapS
+			}
+			s -= cfg.SmoothPenalty * math.Abs(cfg.LadderMbps[lvl]-cfg.LadderMbps[prev])
+			f := first
+			if step == 0 {
+				f = lvl
+			}
+			walk(step+1, b, lvl, s, f)
+		}
+	}
+	walk(0, bufferS, prevLevel, 0, 0)
+	return bestFirst
+}

@@ -1,0 +1,199 @@
+// Package qoe implements the two bandwidth-adaptive applications the paper
+// uses to study CA's QoE implications and Prism5G's benefits: the ViVo
+// volumetric-video (XR) streamer (§3.3, §7, Figs 8/19) and an MPC-based
+// adaptive-bitrate video-on-demand player (§7, Figs 20/21), together with a
+// playback channel that replays measured throughput traces and the QoE
+// metrics both applications report.
+package qoe
+
+import (
+	"math"
+
+	"prism5g/internal/trace"
+)
+
+// Channel replays a throughput trace: it answers "how long does it take to
+// move N bits starting at time t", integrating the piecewise-constant rate.
+type Channel struct {
+	stepS float64
+	mbps  []float64
+}
+
+// NewChannel builds a channel from a measured trace.
+func NewChannel(tr *trace.Trace) *Channel {
+	c := &Channel{stepS: tr.StepS}
+	for _, s := range tr.Samples {
+		c.mbps = append(c.mbps, s.AggTput)
+	}
+	return c
+}
+
+// NewChannelFromSeries builds a channel from a raw Mbps series.
+func NewChannelFromSeries(mbps []float64, stepS float64) *Channel {
+	return &Channel{stepS: stepS, mbps: append([]float64(nil), mbps...)}
+}
+
+// Duration returns the trace length in seconds.
+func (c *Channel) Duration() float64 { return float64(len(c.mbps)) * c.stepS }
+
+// RateAt returns the channel rate in Mbps at time t (clamped to the trace).
+func (c *Channel) RateAt(t float64) float64 {
+	if len(c.mbps) == 0 {
+		return 0
+	}
+	i := int(t / c.stepS)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.mbps) {
+		i = len(c.mbps) - 1
+	}
+	return c.mbps[i]
+}
+
+// MeanRate returns the mean rate between t0 and t1 (Mbps).
+func (c *Channel) MeanRate(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return c.RateAt(t0)
+	}
+	bits := 0.0
+	t := t0
+	for t < t1 {
+		stepEnd := (math.Floor(t/c.stepS) + 1) * c.stepS
+		if stepEnd-t < 1e-12 {
+			// Guard against t sitting exactly on a boundary with
+			// adverse rounding, which would stall the sweep.
+			stepEnd = t + c.stepS
+		}
+		stepEnd = math.Min(t1, stepEnd)
+		bits += c.RateAt(t) * (stepEnd - t)
+		t = stepEnd
+	}
+	return bits / (t1 - t0)
+}
+
+// Download returns the finish time of transferring megabits starting at t.
+// Past the end of the trace the last sample's rate persists (so downloads
+// always finish).
+func (c *Channel) Download(megabits, start float64) float64 {
+	if megabits <= 0 {
+		return start
+	}
+	t := start
+	remaining := megabits
+	for {
+		rate := c.RateAt(t)
+		stepEnd := (math.Floor(t/c.stepS) + 1) * c.stepS
+		if stepEnd-t < 1e-12 {
+			// Same boundary-rounding guard as MeanRate.
+			stepEnd = t + c.stepS
+		}
+		if t >= c.Duration() {
+			// Tail: constant last rate.
+			if rate <= 0 {
+				rate = 1e-6
+			}
+			return t + remaining/rate
+		}
+		dt := stepEnd - t
+		if rate <= 0 {
+			t = stepEnd
+			continue
+		}
+		can := rate * dt
+		if can >= remaining {
+			return t + remaining/rate
+		}
+		remaining -= can
+		t = stepEnd
+	}
+}
+
+// BandwidthPredictor estimates near-future bandwidth for an application.
+// Observe feeds it each measured sample; PredictMbps asks for the expected
+// rate over the next horizon seconds starting at now.
+type BandwidthPredictor interface {
+	Name() string
+	Observe(tputMbps float64)
+	PredictMbps(now, horizonS float64) float64
+}
+
+// MovingMean is ViVo's stock estimator: the mean of the last K observations.
+type MovingMean struct {
+	K    int
+	hist []float64
+}
+
+// Name implements BandwidthPredictor.
+func (m *MovingMean) Name() string { return "MovingMean" }
+
+// Observe implements BandwidthPredictor.
+func (m *MovingMean) Observe(t float64) {
+	m.hist = append(m.hist, t)
+	if m.K > 0 && len(m.hist) > m.K {
+		m.hist = m.hist[len(m.hist)-m.K:]
+	}
+}
+
+// PredictMbps implements BandwidthPredictor.
+func (m *MovingMean) PredictMbps(now, horizonS float64) float64 {
+	if len(m.hist) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range m.hist {
+		s += v
+	}
+	return s / float64(len(m.hist))
+}
+
+// HarmonicPredictor is MPC's stock estimator: the harmonic mean of the last
+// K observations (robust to throughput spikes).
+type HarmonicPredictor struct {
+	K    int
+	hist []float64
+}
+
+// Name implements BandwidthPredictor.
+func (m *HarmonicPredictor) Name() string { return "HarmonicMean" }
+
+// Observe implements BandwidthPredictor.
+func (m *HarmonicPredictor) Observe(t float64) {
+	m.hist = append(m.hist, t)
+	if m.K > 0 && len(m.hist) > m.K {
+		m.hist = m.hist[len(m.hist)-m.K:]
+	}
+}
+
+// PredictMbps implements BandwidthPredictor.
+func (m *HarmonicPredictor) PredictMbps(now, horizonS float64) float64 {
+	n := 0
+	s := 0.0
+	for _, v := range m.hist {
+		if v > 0 {
+			s += 1 / v
+			n++
+		}
+	}
+	if n == 0 || s == 0 {
+		return 0
+	}
+	return float64(n) / s
+}
+
+// Oracle returns the channel's actual mean rate over the horizon — the
+// paper's "ideal" application variant.
+type Oracle struct {
+	Ch *Channel
+}
+
+// Name implements BandwidthPredictor.
+func (o *Oracle) Name() string { return "Ideal" }
+
+// Observe implements BandwidthPredictor.
+func (o *Oracle) Observe(float64) {}
+
+// PredictMbps implements BandwidthPredictor.
+func (o *Oracle) PredictMbps(now, horizonS float64) float64 {
+	return o.Ch.MeanRate(now, now+horizonS)
+}

@@ -1,0 +1,259 @@
+package qoe
+
+import (
+	"math"
+	"testing"
+
+	"prism5g/internal/trace"
+)
+
+func flatChannel(mbps float64, seconds float64) *Channel {
+	n := int(seconds / 0.1)
+	series := make([]float64, n)
+	for i := range series {
+		series[i] = mbps
+	}
+	return NewChannelFromSeries(series, 0.1)
+}
+
+func TestChannelDownloadConstantRate(t *testing.T) {
+	ch := flatChannel(100, 10)
+	// 50 Mb at 100 Mbps = 0.5 s.
+	if got := ch.Download(50, 0); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("finish = %f", got)
+	}
+	// Starting mid-trace.
+	if got := ch.Download(50, 3); math.Abs(got-3.5) > 1e-9 {
+		t.Fatalf("finish = %f", got)
+	}
+	if got := ch.Download(0, 2); got != 2 {
+		t.Fatalf("zero bits = %f", got)
+	}
+}
+
+func TestChannelDownloadVariableRate(t *testing.T) {
+	// 1 s at 100 Mbps then 1 s at 50 Mbps (step 0.5).
+	ch := NewChannelFromSeries([]float64{100, 100, 50, 50}, 0.5)
+	// 125 Mb: 100 in the first second, 25 at 50 Mbps -> 0.5 s more.
+	if got := ch.Download(125, 0); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("finish = %f", got)
+	}
+}
+
+func TestChannelTailPersistsLastRate(t *testing.T) {
+	ch := NewChannelFromSeries([]float64{100, 20}, 1)
+	// Start at end: rate 20 persists.
+	got := ch.Download(40, 2)
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("tail finish = %f", got)
+	}
+}
+
+func TestChannelZeroRateSkipped(t *testing.T) {
+	ch := NewChannelFromSeries([]float64{0, 100}, 1)
+	if got := ch.Download(50, 0); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("finish = %f", got)
+	}
+}
+
+func TestMeanRate(t *testing.T) {
+	ch := NewChannelFromSeries([]float64{100, 50}, 1)
+	if got := ch.MeanRate(0, 2); math.Abs(got-75) > 1e-9 {
+		t.Fatalf("mean = %f", got)
+	}
+	if got := ch.MeanRate(0.5, 1.5); math.Abs(got-75) > 1e-9 {
+		t.Fatalf("mean = %f", got)
+	}
+	if got := ch.MeanRate(1, 1); got != 50 {
+		t.Fatalf("degenerate mean = %f", got)
+	}
+}
+
+func TestMovingMeanAndHarmonic(t *testing.T) {
+	m := &MovingMean{K: 3}
+	for _, v := range []float64{10, 20, 30, 40} {
+		m.Observe(v)
+	}
+	if got := m.PredictMbps(0, 1); got != 30 {
+		t.Fatalf("moving mean = %f", got)
+	}
+	h := &HarmonicPredictor{K: 2}
+	h.Observe(100)
+	h.Observe(1)
+	h.Observe(4)
+	hm := h.PredictMbps(0, 1) // harmonic of {1, 4} = 1.6
+	if math.Abs(hm-1.6) > 1e-9 {
+		t.Fatalf("harmonic = %f", hm)
+	}
+	empty := &MovingMean{}
+	if empty.PredictMbps(0, 1) != 0 {
+		t.Fatal("empty predictor should return 0")
+	}
+}
+
+func TestOracleMatchesChannel(t *testing.T) {
+	ch := NewChannelFromSeries([]float64{100, 50}, 1)
+	o := &Oracle{Ch: ch}
+	if got := o.PredictMbps(0, 2); math.Abs(got-75) > 1e-9 {
+		t.Fatalf("oracle = %f", got)
+	}
+}
+
+func TestViVoPerfectChannelNoStalls(t *testing.T) {
+	// Channel comfortably above the top quality level: ideal predictor
+	// should stream top quality with zero stalls.
+	ch := flatChannel(600, 30)
+	res := RunViVo(DefaultViVoConfig(), ch, &Oracle{Ch: ch})
+	if res.Stalls != 0 || res.StallTimeS != 0 {
+		t.Fatalf("stalls on perfect channel: %+v", res)
+	}
+	if res.AvgQuality < 4.9 {
+		t.Fatalf("quality = %f, want top", res.AvgQuality)
+	}
+	if res.Frames < 190 {
+		t.Fatalf("frames = %d", res.Frames)
+	}
+}
+
+func TestViVoOverestimateCausesStalls(t *testing.T) {
+	// A predictor that always claims 10x bandwidth forces max quality on
+	// a weak channel: stalls must follow.
+	ch := flatChannel(80, 30)
+	res := RunViVo(DefaultViVoConfig(), ch, constantPredictor(800))
+	if res.Stalls == 0 {
+		t.Fatal("overestimation produced no stalls")
+	}
+	// Accurate oracle on the same channel: fewer stalls, lower quality.
+	res2 := RunViVo(DefaultViVoConfig(), ch, &Oracle{Ch: ch})
+	if res2.StallTimeS >= res.StallTimeS {
+		t.Fatalf("oracle stalls %.2f >= blind stalls %.2f", res2.StallTimeS, res.StallTimeS)
+	}
+	if res2.AvgQuality >= res.AvgQuality {
+		t.Fatal("oracle should trade quality for smoothness here")
+	}
+}
+
+type constantPredictor float64
+
+func (c constantPredictor) Name() string                     { return "const" }
+func (c constantPredictor) Observe(float64)                  {}
+func (c constantPredictor) PredictMbps(_, _ float64) float64 { return float64(c) }
+
+func TestViVoVariableChannelIdealBeatsMovingMean(t *testing.T) {
+	// Square-wave channel: 450 <-> 150 Mbps every 2 s. The moving mean
+	// lags at every transition; the oracle adapts instantly.
+	var series []float64
+	for b := 0; b < 10; b++ {
+		level := 450.0
+		if b%2 == 1 {
+			level = 150
+		}
+		for i := 0; i < 20; i++ {
+			series = append(series, level)
+		}
+	}
+	ch := NewChannelFromSeries(series, 0.1)
+	ideal := RunViVo(DefaultViVoConfig(), ch, &Oracle{Ch: ch})
+	mm := RunViVo(DefaultViVoConfig(), ch, &MovingMean{K: 10})
+	if mm.StallTimeS <= ideal.StallTimeS {
+		t.Fatalf("moving mean stalls %.2f <= ideal %.2f", mm.StallTimeS, ideal.StallTimeS)
+	}
+}
+
+func TestViVoQoEDeltas(t *testing.T) {
+	ideal := ViVoResult{Frames: 100, AvgQuality: 4, StallTimeS: 1}
+	worse := ViVoResult{Frames: 100, AvgQuality: 3, StallTimeS: 2}
+	if d := worse.QualityDegradationPct(ideal); math.Abs(d-25) > 1e-9 {
+		t.Fatalf("quality delta = %f", d)
+	}
+	if d := worse.StallIncreasePct(ideal); math.Abs(d-100) > 1e-9 {
+		t.Fatalf("stall delta = %f", d)
+	}
+	// Zero-stall baseline uses percentage of streamed time.
+	zero := ViVoResult{Frames: 100, AvgQuality: 4, StallTimeS: 0}
+	d := worse.StallIncreasePct(zero)
+	if math.Abs(d-(100*2/15.0)) > 1e-9 {
+		t.Fatalf("stall delta vs zero = %f", d)
+	}
+}
+
+func TestABRPerfectChannelTopBitrate(t *testing.T) {
+	cfg := DefaultABRConfig()
+	cfg.Chunks = 20
+	ch := flatChannel(800, 300)
+	res := RunABR(cfg, ch, &Oracle{Ch: ch})
+	if res.StallTimeS > 0.5 {
+		t.Fatalf("stall on fat channel: %+v", res)
+	}
+	if res.AvgMbps < 400 {
+		t.Fatalf("avg bitrate = %f, want high", res.AvgMbps)
+	}
+}
+
+func TestABRWeakChannelPicksLowLadder(t *testing.T) {
+	cfg := DefaultABRConfig()
+	cfg.Chunks = 20
+	ch := flatChannel(5, 300)
+	res := RunABR(cfg, ch, &Oracle{Ch: ch})
+	if res.AvgMbps > 10 {
+		t.Fatalf("weak channel bitrate = %f", res.AvgMbps)
+	}
+	if res.StallTimeS > 2 {
+		t.Fatalf("oracle stalled %f s on steady weak channel", res.StallTimeS)
+	}
+}
+
+func TestABROverestimationStalls(t *testing.T) {
+	cfg := DefaultABRConfig()
+	cfg.Chunks = 25
+	// Channel drops from 300 to 30 Mbps halfway.
+	var series []float64
+	for i := 0; i < 300; i++ {
+		series = append(series, 300)
+	}
+	for i := 0; i < 2000; i++ {
+		series = append(series, 30)
+	}
+	ch := NewChannelFromSeries(series, 0.1)
+	blind := RunABR(cfg, ch, constantPredictor(300))
+	oracle := RunABR(cfg, ch, &Oracle{Ch: ch})
+	if blind.StallTimeS <= oracle.StallTimeS {
+		t.Fatalf("blind stalls %.1f <= oracle stalls %.1f", blind.StallTimeS, oracle.StallTimeS)
+	}
+}
+
+func TestMPCPlanRespectsBuffer(t *testing.T) {
+	cfg := DefaultABRConfig()
+	// Tiny buffer + modest bandwidth: MPC must not pick 585 Mbps.
+	lvl := mpcPlan(cfg, 50, 2, 0)
+	if cfg.LadderMbps[lvl] > 50 {
+		t.Fatalf("MPC picked %f Mbps on a 50 Mbps prediction", cfg.LadderMbps[lvl])
+	}
+	// Huge bandwidth: should pick the top.
+	lvl = mpcPlan(cfg, 2000, 10, 5)
+	if lvl != len(cfg.LadderMbps)-1 {
+		t.Fatalf("MPC did not pick top level: %d", lvl)
+	}
+	// Zero bandwidth: bottom level.
+	if mpcPlan(cfg, 0, 5, 3) != 0 {
+		t.Fatal("MPC must pick lowest level at zero bandwidth")
+	}
+}
+
+func TestModelPredictorFallsBackBeforeHistory(t *testing.T) {
+	tr := &trace.Trace{StepS: 0.1}
+	for i := 0; i < 50; i++ {
+		var s trace.Sample
+		s.T = float64(i) * 0.1
+		s.AggTput = 100
+		tr.Samples = append(tr.Samples, s)
+	}
+	var sc trace.Scaler
+	sc.Fit([]trace.Trace{*tr})
+	mp := NewModelPredictor("x", nil, tr, &sc, trace.DefaultWindowOpts())
+	mp.Observe(42)
+	// now=0.2 -> start index negative -> fallback.
+	if got := mp.PredictMbps(0.2, 0.5); got != 42 {
+		t.Fatalf("fallback = %f", got)
+	}
+}

@@ -1,0 +1,57 @@
+package qoe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: on a constant-rate channel, downloading rate*T megabits takes
+// exactly T seconds from any start time.
+func TestQuickDownloadInverse(t *testing.T) {
+	f := func(rateRaw, durRaw uint8, startRaw uint16) bool {
+		rate := float64(rateRaw%200) + 1
+		ch := flatChannel(rate, 100)
+		dur := float64(durRaw%20) + 0.1
+		start := float64(startRaw % 60)
+		finish := ch.Download(rate*dur, start)
+		return math.Abs((finish-start)-dur) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: download time is monotone in the number of bits.
+func TestQuickDownloadMonotone(t *testing.T) {
+	ch := NewChannelFromSeries([]float64{100, 20, 300, 50, 80}, 1)
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := float64(aRaw%2000), float64(bRaw%2000)
+		if a > b {
+			a, b = b, a
+		}
+		return ch.Download(a, 0) <= ch.Download(b, 0)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MPC never plans a chunk whose download (at the predicted
+// bandwidth) would stall by more than the whole chunk duration when a
+// cheaper level exists with positive utility.
+func TestQuickMPCNeverPicksAbsurd(t *testing.T) {
+	cfg := DefaultABRConfig()
+	f := func(bwRaw uint16, bufRaw uint8) bool {
+		bw := float64(bwRaw%600) + 1
+		buf := float64(bufRaw % 16)
+		lvl := mpcPlan(cfg, bw, buf, 0)
+		dl := cfg.LadderMbps[lvl] * cfg.ChunkS / bw
+		// A plan that stalls for more than 3 chunk durations on its very
+		// first chunk can never beat level 0 under the MPC objective.
+		return dl-buf <= 3*cfg.ChunkS
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package qoe
+
+import "fmt"
+
+// ViVoConfig models the volumetric-video streamer of Han et al. [16] as the
+// paper uses it: 3D frames must be delivered within a 150 ms deadline, and
+// the quality level (point-cloud density) adapts frame-by-frame to the
+// predicted bandwidth. The scaled-up variant doubles the bitrate ladder to
+// exploit 4CC CA (paper §3.3).
+type ViVoConfig struct {
+	// FrameIntervalS is the delivery deadline per 3D frame (0.15 s).
+	FrameIntervalS float64
+	// LadderMbps are the bitrates of the quality levels, ascending.
+	LadderMbps []float64
+	// Safety discounts the predicted bandwidth before picking a level.
+	Safety float64
+}
+
+// DefaultViVoConfig is the standard ViVo: quality levels up to 375 Mbps.
+func DefaultViVoConfig() ViVoConfig {
+	return ViVoConfig{
+		FrameIntervalS: 0.15,
+		LadderMbps:     []float64{75, 150, 225, 300, 375},
+		Safety:         0.9,
+	}
+}
+
+// ScaledUpViVoConfig doubles the ladder to 750 Mbps, the paper's 4CC-CA
+// variant.
+func ScaledUpViVoConfig() ViVoConfig {
+	return ViVoConfig{
+		FrameIntervalS: 0.15,
+		LadderMbps:     []float64{150, 300, 450, 600, 750},
+		Safety:         0.9,
+	}
+}
+
+// ViVoResult is the QoE outcome of one ViVo run (paper Fig 8/19 metrics).
+type ViVoResult struct {
+	// Frames is the number of 3D frames streamed.
+	Frames int
+	// AvgQuality is the mean quality level (1-based).
+	AvgQuality float64
+	// StallTimeS is the cumulative deadline overrun.
+	StallTimeS float64
+	// Stalls counts frames that missed the deadline.
+	Stalls int
+}
+
+// String implements fmt.Stringer.
+func (r ViVoResult) String() string {
+	return fmt.Sprintf("frames=%d quality=%.2f stalls=%d stallTime=%.2fs", r.Frames, r.AvgQuality, r.Stalls, r.StallTimeS)
+}
+
+// QualityDegradationPct returns the relative quality drop vs a baseline run
+// (positive = worse), the paper's Fig 8 x-axis.
+func (r ViVoResult) QualityDegradationPct(ideal ViVoResult) float64 {
+	if ideal.AvgQuality == 0 {
+		return 0
+	}
+	return 100 * (ideal.AvgQuality - r.AvgQuality) / ideal.AvgQuality
+}
+
+// StallIncreasePct returns the relative stall-time increase vs a baseline
+// run, the paper's Fig 8 y-axis. A baseline of zero stall maps to
+// percentage points of streamed time instead.
+func (r ViVoResult) StallIncreasePct(ideal ViVoResult) float64 {
+	if ideal.StallTimeS < 1e-9 {
+		total := float64(r.Frames) * 0.15
+		if total <= 0 {
+			return 0
+		}
+		return 100 * (r.StallTimeS - ideal.StallTimeS) / total
+	}
+	return 100 * (r.StallTimeS - ideal.StallTimeS) / ideal.StallTimeS
+}
+
+// RunViVo streams over the channel using the predictor for frame-by-frame
+// quality decisions until the trace ends.
+func RunViVo(cfg ViVoConfig, ch *Channel, pred BandwidthPredictor) ViVoResult {
+	var res ViVoResult
+	now := 0.0
+	dur := ch.Duration()
+	var qualitySum float64
+	for now+cfg.FrameIntervalS <= dur {
+		bw := pred.PredictMbps(now, cfg.FrameIntervalS)
+		level := 0
+		for i, rate := range cfg.LadderMbps {
+			if rate <= bw*cfg.Safety {
+				level = i
+			}
+		}
+		frameMb := cfg.LadderMbps[level] * cfg.FrameIntervalS
+		finish := ch.Download(frameMb, now)
+		elapsed := finish - now
+		// The application observes what the channel actually delivered.
+		pred.Observe(frameMb / elapsed)
+		res.Frames++
+		qualitySum += float64(level + 1)
+		if elapsed > cfg.FrameIntervalS {
+			res.Stalls++
+			res.StallTimeS += elapsed - cfg.FrameIntervalS
+			now = finish
+		} else {
+			now += cfg.FrameIntervalS
+		}
+	}
+	if res.Frames > 0 {
+		res.AvgQuality = qualitySum / float64(res.Frames)
+	}
+	return res
+}

@@ -1,0 +1,556 @@
+package ran
+
+import (
+	"fmt"
+	"sort"
+
+	"prism5g/internal/mobility"
+	"prism5g/internal/phy"
+	"prism5g/internal/rng"
+	"prism5g/internal/spectrum"
+)
+
+// EventType enumerates the RRC carrier-aggregation signaling events the
+// paper's predictor consumes (Table 3 "Signaling" features).
+type EventType uint8
+
+const (
+	// EvSCellAdd configures a new SCell (activation follows after a delay).
+	EvSCellAdd EventType = iota
+	// EvSCellRemove releases an SCell.
+	EvSCellRemove
+	// EvSCellActivate marks the SCell starting to carry data.
+	EvSCellActivate
+	// EvPCellSwitch is a handover / PCell change.
+	EvPCellSwitch
+	// EvRadioLinkFailure drops the whole connection.
+	EvRadioLinkFailure
+)
+
+// String implements fmt.Stringer.
+func (e EventType) String() string {
+	switch e {
+	case EvSCellAdd:
+		return "scell-add"
+	case EvSCellRemove:
+		return "scell-remove"
+	case EvSCellActivate:
+		return "scell-activate"
+	case EvPCellSwitch:
+		return "pcell-switch"
+	default:
+		return "rlf"
+	}
+}
+
+// Event is one RRC signaling event with its timestamp.
+type Event struct {
+	Type EventType
+	Cell *Cell
+	At   float64 // seconds since engine start
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	id := "-"
+	if e.Cell != nil {
+		id = e.Cell.ID()
+	}
+	return fmt.Sprintf("%.3fs %s %s", e.At, e.Type, id)
+}
+
+// ServingCC is one configured component carrier of the UE's CA set.
+type ServingCC struct {
+	Cell    *Cell
+	Link    *phy.Link
+	IsPCell bool
+	// ConfiguredAt is when the RRC add was signaled.
+	ConfiguredAt float64
+	// ActiveAt is when the carrier starts carrying data (the activation
+	// delay between these two is what gives a CA-aware predictor its
+	// lead at transitions).
+	ActiveAt float64
+	// belowSince counts consecutive below-threshold evaluations.
+	belowSince int
+}
+
+// Active reports whether the CC carries data at time t.
+func (s *ServingCC) Active(t float64) bool { return t >= s.ActiveAt }
+
+// Config tunes the CA engine. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// Tech selects 4G or 5G operation.
+	Tech spectrum.Tech
+	// PCellMinRSRP is the accessibility threshold for PCell selection.
+	PCellMinRSRP float64
+	// HandoverHysteresisDB is the margin a neighbour must exceed.
+	HandoverHysteresisDB float64
+	// HandoverTTT is the consecutive evaluations (time-to-trigger).
+	HandoverTTT int
+	// SCellAddRSRP is the A4-style SCell addition threshold.
+	SCellAddRSRP float64
+	// SCellRemoveRSRP is the A2-style SCell release threshold.
+	SCellRemoveRSRP float64
+	// SCellRemoveTTT is the consecutive below-threshold evaluations
+	// before release.
+	SCellRemoveTTT int
+	// ActivationDelayS is the config-to-traffic SCell activation delay.
+	ActivationDelayS float64
+	// AddIntervalS is the minimum spacing between successive SCell adds.
+	AddIntervalS float64
+	// EvalIntervalS is the measurement/decision cadence.
+	EvalIntervalS float64
+	// MidBandPreferenceDB biases PCell choice toward capacity layers
+	// when their signal is adequate.
+	MidBandPreferenceDB float64
+}
+
+// DefaultConfig returns the engine configuration used across the study.
+func DefaultConfig(tech spectrum.Tech) Config {
+	return Config{
+		Tech:                 tech,
+		PCellMinRSRP:         -118,
+		HandoverHysteresisDB: 9,
+		HandoverTTT:          12,
+		SCellAddRSRP:         -106,
+		SCellRemoveRSRP:      -116,
+		SCellRemoveTTT:       10,
+		ActivationDelayS:     0.15,
+		AddIntervalS:         1.6,
+		EvalIntervalS:        0.2,
+		MidBandPreferenceDB:  12,
+	}
+}
+
+// Engine is the per-UE RRC carrier-aggregation state machine.
+type Engine struct {
+	Net *Network
+	UE  UE
+	Cfg Config
+
+	pcell  *ServingCC
+	scells []*ServingCC
+	links  map[int]*phy.Link
+	sites  map[int]*phy.SiteState
+	bands  map[string]*phy.BandState
+	src    *rng.Source
+
+	// bandLock restricts usable bands (the paper's [C1] band locking via
+	// operator service codes). Empty means unrestricted.
+	bandLock map[string]bool
+	// chanLock restricts usable channels by channel ID ("n41^a"),
+	// the finer-grained lock used for the single-channel experiments.
+	chanLock map[string]bool
+
+	now           float64
+	sinceEval     float64
+	lastAddAt     float64
+	lastHOAt      float64
+	hoCandidate   int // PCI of pending handover target
+	hoStreak      int
+	eventBacklog  []Event
+	connectedOnce bool
+}
+
+// NewEngine creates a CA engine for the UE on the network.
+func NewEngine(net *Network, ue UE, cfg Config, src *rng.Source) *Engine {
+	return &Engine{
+		Net:       net,
+		UE:        ue,
+		Cfg:       cfg,
+		links:     map[int]*phy.Link{},
+		sites:     map[int]*phy.SiteState{},
+		bands:     map[string]*phy.BandState{},
+		src:       src.Split(),
+		bandLock:  map[string]bool{},
+		chanLock:  map[string]bool{},
+		lastAddAt: -1e9,
+		lastHOAt:  -1e9,
+	}
+}
+
+// LockBands restricts the engine to the given band names (e.g. "n41"),
+// mirroring the paper's band-locking methodology. Passing none clears the
+// lock.
+func (e *Engine) LockBands(names ...string) {
+	e.bandLock = map[string]bool{}
+	for _, n := range names {
+		e.bandLock[n] = true
+	}
+}
+
+// LockChannels restricts the engine to the given channel IDs (e.g.
+// "n41^a"), the single-channel variant of band locking. Passing none clears
+// the lock.
+func (e *Engine) LockChannels(ids ...string) {
+	e.chanLock = map[string]bool{}
+	for _, id := range ids {
+		e.chanLock[id] = true
+	}
+}
+
+// allowed reports whether the band/channel locks permit the cell.
+func (e *Engine) allowed(c *Cell) bool {
+	if len(e.chanLock) > 0 && !e.chanLock[c.Chan.ID()] {
+		return false
+	}
+	if len(e.bandLock) == 0 {
+		return true
+	}
+	return e.bandLock[c.Chan.Band.Name]
+}
+
+// siteState returns (creating lazily) the shared propagation state toward a
+// site.
+func (e *Engine) siteState(site int, dist float64) *phy.SiteState {
+	st, ok := e.sites[site]
+	if !ok {
+		st = phy.NewSiteState(e.src, dist)
+		e.sites[site] = st
+	}
+	return st
+}
+
+// bandState returns (creating lazily) the shared per-(site, band) deviation.
+func (e *Engine) bandState(site int, band string) *phy.BandState {
+	key := fmt.Sprintf("%d/%s", site, band)
+	bs, ok := e.bands[key]
+	if !ok {
+		bs = phy.NewBandState(e.src)
+		e.bands[key] = bs
+	}
+	return bs
+}
+
+// link returns (creating lazily) the shadowed radio link toward a cell.
+func (e *Engine) link(c *Cell, dist float64) *phy.Link {
+	l, ok := e.links[c.PCI]
+	if !ok {
+		l = phy.NewLink(e.src, c.FreqGHz(), c.Chan.SCSKHz,
+			e.siteState(c.Site, dist), e.bandState(c.Site, c.Chan.Band.Name))
+		e.links[c.PCI] = l
+	}
+	return l
+}
+
+// Now returns the engine clock in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// PCell returns the current primary cell, or nil when not connected.
+func (e *Engine) PCell() *ServingCC { return e.pcell }
+
+// SCells returns the configured secondary cells in activation order.
+func (e *Engine) SCells() []*ServingCC { return e.scells }
+
+// Serving returns PCell followed by SCells.
+func (e *Engine) Serving() []*ServingCC {
+	if e.pcell == nil {
+		return nil
+	}
+	out := make([]*ServingCC, 0, 1+len(e.scells))
+	out = append(out, e.pcell)
+	return append(out, e.scells...)
+}
+
+// Combo returns the current ordered channel combination.
+func (e *Engine) Combo() spectrum.Combo {
+	var c spectrum.Combo
+	for _, s := range e.Serving() {
+		c = append(c, s.Cell.Chan)
+	}
+	return c
+}
+
+// measure evaluates the link radio state of a cell from position p.
+// Interference comes from co-channel cells at other sites (frequency
+// reuse 1): each contributes its mean received power scaled by its load.
+func (e *Engine) measure(c *Cell, p mobility.Point, indoor bool) phy.RadioState {
+	d := c.Pos.Dist(p)
+	l := e.link(c, d)
+	inr := e.Net.CoChannelINR(c, p, indoor)
+	return l.Evaluate(d, indoor, inr)
+}
+
+// pcellScore ranks PCell candidates: RSRP plus a capacity-layer preference
+// when the mid-band signal is adequate.
+func (e *Engine) pcellScore(c *Cell, rs phy.RadioState) float64 {
+	score := rs.RSRPdBm
+	if c.Chan.Band.Class() == spectrum.MidBand && c.Chan.Band.Range() == spectrum.FR1 && rs.RSRPdBm > -105 {
+		score += e.Cfg.MidBandPreferenceDB
+	}
+	// mmWave anchors only with a strong beam (then it is strongly
+	// preferred, as operators steer capable UEs onto it); otherwise it
+	// is avoided entirely.
+	if e.isFR2(c) {
+		if rs.RSRPdBm > -95 {
+			score += 2 * e.Cfg.MidBandPreferenceDB
+		} else {
+			score -= 60
+		}
+	}
+	return score
+}
+
+// maxCCs returns the CA depth permitted by plan and modem for the carrier
+// mix currently in play.
+func (e *Engine) maxCCs(fr2 bool) int {
+	if e.Cfg.Tech == spectrum.LTE {
+		m := e.Net.Plan.Max4GCCs
+		if mm := e.UE.Modem.MaxLTECCs(); mm < m {
+			m = mm
+		}
+		return m
+	}
+	if fr2 {
+		m := e.Net.Plan.Max5GFR2CCs
+		if mm := e.UE.Modem.MaxNRCCsFR2(); mm < m {
+			m = mm
+		}
+		return m
+	}
+	m := e.Net.Plan.Max5GFR1CCs
+	if mm := e.UE.Modem.MaxNRCCsFR1(); mm < m {
+		m = mm
+	}
+	return m
+}
+
+// Step advances the engine by dt seconds with the UE at p having moved
+// movedM meters since the last step. It returns the RRC events emitted
+// during this step.
+func (e *Engine) Step(p mobility.Point, movedM, dt float64, indoor bool) []Event {
+	e.now += dt
+	e.sinceEval += dt
+	// Advance shared per-site shadowing, per-band deviations, then
+	// per-carrier deviations.
+	for site, st := range e.sites {
+		st.Move(movedM, e.Net.Deploy.Sites[site].Dist(p))
+	}
+	for _, bs := range e.bands {
+		bs.Move(movedM)
+	}
+	for _, l := range e.links {
+		l.Move(movedM)
+	}
+	if e.sinceEval < e.Cfg.EvalIntervalS && e.connectedOnce {
+		return e.drainEvents()
+	}
+	e.sinceEval = 0
+	e.evaluate(p, indoor)
+	return e.drainEvents()
+}
+
+func (e *Engine) drainEvents() []Event {
+	ev := e.eventBacklog
+	e.eventBacklog = nil
+	return ev
+}
+
+func (e *Engine) emit(t EventType, c *Cell) {
+	e.eventBacklog = append(e.eventBacklog, Event{Type: t, Cell: c, At: e.now})
+}
+
+// measurement pairs a candidate cell with its measured radio state.
+type measurement struct {
+	cell *Cell
+	rs   phy.RadioState
+}
+
+// evaluate runs one RRC measurement/decision round.
+func (e *Engine) evaluate(p mobility.Point, indoor bool) {
+	cands := e.Net.CandidateCells(p, e.Cfg.Tech)
+	var ms []measurement
+	for _, c := range cands {
+		if !e.allowed(c) {
+			continue
+		}
+		ms = append(ms, measurement{c, e.measure(c, p, indoor)})
+	}
+	// --- PCell management ---
+	var best *measurement
+	bestScore := -1e18
+	for i := range ms {
+		m := &ms[i]
+		if m.rs.RSRPdBm < e.Cfg.PCellMinRSRP {
+			continue
+		}
+		if sc := e.pcellScore(m.cell, m.rs); sc > bestScore {
+			best, bestScore = m, sc
+		}
+	}
+	if e.pcell != nil {
+		curRS := e.measure(e.pcell.Cell, p, indoor)
+		if curRS.RSRPdBm < e.Cfg.PCellMinRSRP-4 {
+			// Radio link failure: drop everything, reselect below.
+			e.emit(EvRadioLinkFailure, e.pcell.Cell)
+			e.pcell = nil
+			e.scells = nil
+		} else if best != nil && best.cell != e.pcell.Cell {
+			curScore := e.pcellScore(e.pcell.Cell, curRS)
+			hyst := e.Cfg.HandoverHysteresisDB
+			if best.cell.Site == e.pcell.Cell.Site && curRS.RSRPdBm > -110 {
+				// Reshuffling the PCell among co-sited carriers tears
+				// down the whole CA set for no coverage gain; require a
+				// far larger margin unless the current PCell degrades.
+				hyst *= 4
+			}
+			if bestScore > curScore+hyst {
+				if e.hoCandidate == best.cell.PCI {
+					e.hoStreak++
+				} else {
+					e.hoCandidate, e.hoStreak = best.cell.PCI, 1
+				}
+				if e.hoStreak >= e.Cfg.HandoverTTT {
+					e.handoverTo(best.cell)
+					e.hoStreak = 0
+				}
+			} else {
+				e.hoStreak = 0
+			}
+		} else {
+			e.hoStreak = 0
+		}
+	}
+	if e.pcell == nil {
+		if best == nil {
+			return // out of coverage
+		}
+		e.pcell = &ServingCC{
+			Cell: best.cell, Link: e.links[best.cell.PCI], IsPCell: true,
+			ConfiguredAt: e.now, ActiveAt: e.now,
+		}
+		e.emit(EvPCellSwitch, best.cell)
+		e.connectedOnce = true
+	}
+	// --- SCell management ---
+	e.manageSCells(ms, p, indoor)
+}
+
+// handoverTo switches the PCell, releasing all SCells (as observed: PCell
+// change tears down and rebuilds the CA set).
+func (e *Engine) handoverTo(c *Cell) {
+	for _, s := range e.scells {
+		e.emit(EvSCellRemove, s.Cell)
+	}
+	e.scells = nil
+	e.pcell = &ServingCC{
+		Cell: c, Link: e.links[c.PCI], IsPCell: true,
+		ConfiguredAt: e.now, ActiveAt: e.now,
+	}
+	e.lastHOAt = e.now
+	e.emit(EvPCellSwitch, c)
+}
+
+func (e *Engine) manageSCells(ms []measurement, p mobility.Point, indoor bool) {
+	if e.pcell == nil {
+		return
+	}
+	// Release weak SCells.
+	kept := e.scells[:0]
+	for _, s := range e.scells {
+		rs := e.measure(s.Cell, p, indoor)
+		if rs.RSRPdBm < e.Cfg.SCellRemoveRSRP {
+			s.belowSince++
+		} else {
+			s.belowSince = 0
+		}
+		if s.belowSince >= e.Cfg.SCellRemoveTTT {
+			e.emit(EvSCellRemove, s.Cell)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	e.scells = kept
+
+	// Count current FR1/FR2 CCs.
+	countFR2, countFR1 := 0, 0
+	serving := map[int]bool{e.pcell.Cell.PCI: true}
+	if e.isFR2(e.pcell.Cell) {
+		countFR2++
+	} else {
+		countFR1++
+	}
+	for _, s := range e.scells {
+		serving[s.Cell.PCI] = true
+		if e.isFR2(s.Cell) {
+			countFR2++
+		} else {
+			countFR1++
+		}
+	}
+
+	// Right after a handover the RRC reconfiguration sets up the whole
+	// CA set at once; otherwise SCells are added one per interval.
+	burst := e.now-e.lastHOAt < 1.0
+	if !burst && e.now-e.lastAddAt < e.Cfg.AddIntervalS {
+		return
+	}
+	// Candidate SCells: co-sited with the PCell (standard deployment),
+	// above the add threshold, not already serving.
+	var adds []measurement
+	for i := range ms {
+		m := &ms[i]
+		if serving[m.cell.PCI] || m.cell.Site != e.pcell.Cell.Site {
+			continue
+		}
+		if m.rs.RSRPdBm < e.Cfg.SCellAddRSRP {
+			continue
+		}
+		adds = append(adds, measurement{m.cell, m.rs})
+	}
+	if len(adds) == 0 {
+		return
+	}
+	// Operators add the widest adequate carrier first.
+	sort.Slice(adds, func(i, j int) bool {
+		if adds[i].cell.Chan.BandwidthMHz != adds[j].cell.Chan.BandwidthMHz {
+			return adds[i].cell.Chan.BandwidthMHz > adds[j].cell.Chan.BandwidthMHz
+		}
+		return adds[i].rs.RSRPdBm > adds[j].rs.RSRPdBm
+	})
+	pcellFR2 := e.isFR2(e.pcell.Cell)
+	for _, a := range adds {
+		fr2 := e.isFR2(a.cell)
+		// SA CA does not mix FR1 and FR2 in one cell group (the paper's
+		// 8-CC mmWave combos are pure n260/n261 sets).
+		if fr2 != pcellFR2 {
+			continue
+		}
+		if fr2 {
+			if countFR2 >= e.maxCCs(true) {
+				continue
+			}
+		} else {
+			if countFR1 >= e.maxCCs(false) {
+				continue
+			}
+		}
+		s := &ServingCC{
+			Cell: a.cell, Link: e.links[a.cell.PCI],
+			ConfiguredAt: e.now, ActiveAt: e.now + e.Cfg.ActivationDelayS,
+		}
+		e.scells = append(e.scells, s)
+		e.emit(EvSCellAdd, a.cell)
+		e.emit(EvSCellActivate, a.cell)
+		e.lastAddAt = e.now
+		if !burst {
+			return // one add per interval
+		}
+		// burst mode: keep adding eligible SCells this evaluation.
+		if e.isFR2(a.cell) {
+			countFR2++
+		} else {
+			countFR1++
+		}
+	}
+}
+
+func (e *Engine) isFR2(c *Cell) bool {
+	return c.Chan.Band.Tech == spectrum.NR && c.Chan.Band.Range() == spectrum.FR2
+}
+
+// MeasureServing returns the current radio state of a serving CC from p.
+func (e *Engine) MeasureServing(s *ServingCC, p mobility.Point, indoor bool) phy.RadioState {
+	return e.measure(s.Cell, p, indoor)
+}

@@ -1,0 +1,315 @@
+package ran
+
+import (
+	"fmt"
+	"math"
+
+	"prism5g/internal/mobility"
+	"prism5g/internal/phy"
+	"prism5g/internal/rng"
+	"prism5g/internal/spectrum"
+)
+
+// Cell is one deployed channel at one site: the unit that becomes a serving
+// cell / component carrier under CA.
+type Cell struct {
+	// PCI is the physical cell identity (unique per network here).
+	PCI int
+	// Site indexes into the deployment's site list.
+	Site int
+	// Pos is the site position.
+	Pos mobility.Point
+	// Chan is the frequency channel the cell radiates.
+	Chan spectrum.Channel
+	// MaxRank is the deepest MIMO the cell supports.
+	MaxRank int
+	// NumRB is the configured downlink resource blocks.
+	NumRB int
+	// load is the background-traffic process (0..1) of this cell.
+	load *rng.OU
+	// baseLoad is the scenario/time-of-day mean load.
+	baseLoad float64
+}
+
+// ID returns a human-readable cell identifier.
+func (c *Cell) ID() string { return fmt.Sprintf("%s@%d#%d", c.Chan.ID(), c.Site, c.PCI) }
+
+// FreqGHz returns the carrier frequency in GHz.
+func (c *Cell) FreqGHz() float64 { return c.Chan.CenterMHz / 1000 }
+
+// IsTDD reports whether the cell operates in TDD mode.
+func (c *Cell) IsTDD() bool { return c.Chan.Band.Duplex == spectrum.TDD }
+
+// CoverageRadiusM returns the nominal radius within which the cell is a CA
+// candidate, derived from its band class.
+func (c *Cell) CoverageRadiusM() float64 {
+	switch c.Chan.Band.Class() {
+	case spectrum.LowBand:
+		return 3500
+	case spectrum.MidBand:
+		if c.Chan.CenterMHz >= 3000 {
+			return 900 // C-band
+		}
+		return 1800
+	default:
+		return 250 // mmWave
+	}
+}
+
+// Load returns the cell's current background load in [0, 1].
+func (c *Cell) Load() float64 {
+	l := c.load.Value()
+	if l < 0 {
+		return 0
+	}
+	if l > 1 {
+		return 1
+	}
+	return l
+}
+
+// loadTauS is the background-load decorrelation time constant.
+const loadTauS = 40.0
+
+// loadStd is the stationary standard deviation of the load process.
+const loadStd = 0.06
+
+// StepLoad advances the load process by dt seconds and applies the
+// time-of-day multiplier (1.0 at the paper's midnight measurement window;
+// rush hour pushes ~1.9x). The process dynamics are dt-aware so the same
+// physics holds at 10 ms and 1 s sampling.
+func (c *Cell) StepLoad(todMultiplier, dt float64) {
+	theta := 1 - math.Exp(-dt/loadTauS)
+	c.load.Theta = theta
+	c.load.Sigma = loadStd * math.Sqrt(theta*(2-theta))
+	c.load.Mean = c.baseLoad * todMultiplier
+	c.load.Step()
+}
+
+// Network is an operator's RAN deployed over a scenario: all cells of all
+// sites, plus the deployment geometry.
+type Network struct {
+	Operator spectrum.Operator
+	Plan     spectrum.Plan
+	Scenario mobility.Scenario
+	Deploy   *mobility.Deployment
+	Cells    []*Cell
+
+	cellsBySite map[int][]*Cell
+	cellsByChan map[string][]*Cell
+}
+
+// deployProb returns the probability that a site of the scenario hosts the
+// given channel, encoding the paper's coverage findings: 4G everywhere; OpZ
+// 5G nearly everywhere (86% urban avg, 75% suburban); OpX/OpY 5G confined to
+// urban (24% / 44%-ish), mmWave only in dense urban pockets (6% / 25%).
+func deployProb(op spectrum.Operator, sc mobility.Scenario, ch spectrum.Channel) float64 {
+	if ch.Band.Tech == spectrum.LTE {
+		return 0.96 // 4G CA covers almost the entire area
+	}
+	fr2 := ch.Band.Range() == spectrum.FR2
+	switch op {
+	case spectrum.OpX:
+		switch sc {
+		case mobility.Urban:
+			if fr2 {
+				return 0.06
+			}
+			return 0.25
+		case mobility.Suburban:
+			if fr2 {
+				return 0
+			}
+			return 0.12
+		case mobility.Beltway:
+			if fr2 {
+				return 0
+			}
+			return 0.10
+		default: // Indoor area, served by urban macros
+			if fr2 {
+				return 0.03
+			}
+			return 0.25
+		}
+	case spectrum.OpY:
+		switch sc {
+		case mobility.Urban:
+			if fr2 {
+				return 0.25
+			}
+			return 0.54
+		case mobility.Suburban:
+			if fr2 {
+				return 0
+			}
+			return 0.25
+		case mobility.Beltway:
+			if fr2 {
+				return 0
+			}
+			return 0.18
+		default:
+			if fr2 {
+				return 0.08
+			}
+			return 0.54
+		}
+	default: // OpZ: aggressive FR1 re-farming
+		switch sc {
+		case mobility.Urban:
+			return 0.92
+		case mobility.Suburban:
+			return 0.75
+		case mobility.Beltway:
+			return 0.55
+		default:
+			return 0.92
+		}
+	}
+}
+
+// baseLoadFor returns the mean background load for a scenario (the paper
+// measures mostly at midnight; urban cells still carry more traffic).
+func baseLoadFor(sc mobility.Scenario, ch spectrum.Channel) float64 {
+	var l float64
+	switch sc {
+	case mobility.Urban:
+		l = 0.35
+	case mobility.Suburban:
+		l = 0.22
+	case mobility.Beltway:
+		l = 0.18
+	default:
+		l = 0.30
+	}
+	// Wide mid-band capacity layers attract more carried traffic; mmWave
+	// carries almost none (few capable UEs in its tiny footprint).
+	if ch.Band.Tech == spectrum.NR && ch.Band.Range() == spectrum.FR2 {
+		return 0.10
+	}
+	if ch.Band.Tech == spectrum.NR && ch.BandwidthMHz >= 60 {
+		l += 0.08
+	}
+	return l
+}
+
+// NewNetwork deploys the operator's plan across the scenario. Low-band
+// channels go on (almost) every site; other channels follow deployProb.
+// mmWave channels co-locate: a site either has the full 8-channel cluster or
+// none, matching how operators deploy mmWave.
+func NewNetwork(op spectrum.Operator, sc mobility.Scenario, src *rng.Source) *Network {
+	s := src.Split()
+	n := &Network{
+		Operator:    op,
+		Plan:        spectrum.PlanFor(op),
+		Scenario:    sc,
+		Deploy:      mobility.NewDeployment(sc, s),
+		cellsBySite: map[int][]*Cell{},
+		cellsByChan: map[string][]*Cell{},
+	}
+	pci := 1
+	for siteIdx, pos := range n.Deploy.Sites {
+		// Decide mmWave cluster presence once per site.
+		fr2Prob := 0.0
+		for _, ch := range n.Plan.Channels {
+			if ch.Band.Tech == spectrum.NR && ch.Band.Range() == spectrum.FR2 {
+				fr2Prob = deployProb(op, sc, ch)
+				break
+			}
+		}
+		hasFR2 := s.Bool(fr2Prob)
+		groupTaken := map[string]bool{}
+		for _, ch := range n.Plan.Channels {
+			if g := ch.ExclusiveGroup; g != "" && groupTaken[g] {
+				continue
+			}
+			isFR2 := ch.Band.Tech == spectrum.NR && ch.Band.Range() == spectrum.FR2
+			var deploy bool
+			if isFR2 {
+				deploy = hasFR2
+			} else if ch.Band.Class() == spectrum.LowBand {
+				deploy = s.Bool(0.98) // low band is the coverage layer
+			} else {
+				deploy = s.Bool(deployProb(op, sc, ch))
+			}
+			if !deploy {
+				continue
+			}
+			if g := ch.ExclusiveGroup; g != "" {
+				groupTaken[g] = true
+			}
+			nRB, err := phy.NumRB(ch.Band.Tech == spectrum.NR, ch.SCSKHz, ch.BandwidthMHz)
+			if err != nil {
+				panic(fmt.Sprintf("ran: %s: %v", ch.ID(), err))
+			}
+			c := &Cell{
+				PCI:      pci,
+				Site:     siteIdx,
+				Pos:      pos,
+				Chan:     ch,
+				MaxRank:  phy.MaxRankForBand(ch.CenterMHz/1000, ch.Band.Duplex == spectrum.TDD),
+				NumRB:    nRB,
+				baseLoad: baseLoadFor(sc, ch),
+			}
+			c.load = rng.NewOU(s, c.baseLoad, 0.05, loadStd*math.Sqrt(0.05*(2-0.05)))
+			n.Cells = append(n.Cells, c)
+			n.cellsBySite[siteIdx] = append(n.cellsBySite[siteIdx], c)
+			n.cellsByChan[ch.ID()] = append(n.cellsByChan[ch.ID()], c)
+			pci++
+		}
+	}
+	return n
+}
+
+// CellsAtSite returns the cells co-located at a site.
+func (n *Network) CellsAtSite(site int) []*Cell { return n.cellsBySite[site] }
+
+// CandidateCells returns all cells whose coverage radius reaches p,
+// optionally filtered by technology.
+func (n *Network) CandidateCells(p mobility.Point, tech spectrum.Tech) []*Cell {
+	var out []*Cell
+	for _, c := range n.Cells {
+		if c.Chan.Band.Tech != tech {
+			continue
+		}
+		if c.Pos.Dist(p) <= c.CoverageRadiusM() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CoChannelINR returns the interference-to-noise ratio (linear) a UE at p
+// sees on cell c's channel from co-channel cells at other sites, using the
+// mean (unshadowed) NLOS path loss weighted by each interferer's load. This
+// is what makes urban SINR interference-limited: near the serving site the
+// ratio is tiny, at the cell edge it dominates.
+func (n *Network) CoChannelINR(c *Cell, p mobility.Point, indoor bool) float64 {
+	noise := phy.NoiseDBm(c.Chan.SCSKHz)
+	f := c.FreqGHz()
+	inr := 0.0
+	for _, other := range n.cellsByChan[c.Chan.ID()] {
+		if other.Site == c.Site {
+			continue
+		}
+		d := other.Pos.Dist(p)
+		if d > other.CoverageRadiusM()*1.5 {
+			continue
+		}
+		pl := phy.PathLossNLOS(d, f)
+		if indoor {
+			pl += phy.IndoorPenetrationDB(f)
+		}
+		rx := phy.TxPowerPerREdBm(f) - pl
+		inr += math.Pow(10, (rx-noise)/10) * other.Load()
+	}
+	return inr
+}
+
+// StepLoads advances every cell's background-load process by dt seconds.
+func (n *Network) StepLoads(todMultiplier, dt float64) {
+	for _, c := range n.Cells {
+		c.StepLoad(todMultiplier, dt)
+	}
+}

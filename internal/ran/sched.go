@@ -1,0 +1,281 @@
+package ran
+
+import (
+	"math"
+
+	"prism5g/internal/mobility"
+	"prism5g/internal/phy"
+	"prism5g/internal/rng"
+	"prism5g/internal/spectrum"
+)
+
+// CCObservation is one UE-side snapshot of one component carrier: exactly
+// the per-CC PHY feature block of paper Tables 3/12, plus the achieved
+// throughput.
+type CCObservation struct {
+	CellID  string
+	PCI     int
+	Chan    spectrum.Channel
+	IsPCell bool
+	Active  bool
+
+	RSRPdBm float64
+	RSRQdB  float64
+	SINRdB  float64
+	CQI     int
+	BLER    float64
+	MCS     int
+	Layers  int
+	RB      float64
+
+	// TputMbps is the instantaneous downlink goodput of this CC.
+	TputMbps float64
+}
+
+// Snapshot is the full per-step UE observation: all configured CCs and the
+// aggregate throughput, plus the RRC events of the step.
+type Snapshot struct {
+	At            float64
+	CCs           []CCObservation
+	AggregateMbps float64
+	Events        []Event
+	NumActiveCCs  int
+}
+
+// Scheduler turns the CA engine's serving set into throughput, applying the
+// per-CC power / MIMO / RB policies the paper dissects in §4.3:
+//
+//   - SCells in deep (≥3 CC) combos on FDD carriers lose PDSCH power and
+//     collapse to fewer MIMO layers even though reported (SSB) RSRP and CQI
+//     stay put — paper Fig 14.
+//   - Once the aggregate bandwidth exceeds a budget, additional SCells are
+//     RB-throttled in loaded cells — paper Fig 15.
+//   - CQI staleness under mobility raises BLER.
+type Scheduler struct {
+	src *rng.Source
+	// fading holds a temporally correlated fast-fading process per PCI.
+	fading map[int]*rng.OU
+	// shareNoise jitters the scheduler's RB share per CC.
+	shareNoise map[int]*rng.OU
+
+	// PDSCHOffsetDeepCA is the PDSCH power reduction (dB) applied to FDD
+	// SCells in combos of three or more CCs.
+	PDSCHOffsetDeepCA float64
+	// AggBWBudgetMHz is the aggregate bandwidth beyond which extra
+	// SCells get RB-throttled under load.
+	AggBWBudgetMHz float64
+	// SchedulingEfficiency models HARQ round-trips, control gaps and
+	// imperfect link adaptation (multiplies goodput).
+	SchedulingEfficiency float64
+	// CAOverheadPerCC is the per-additional-CC goodput overhead of
+	// splitting one UE's traffic across carriers (MAC multiplexing,
+	// per-CC power sharing, transport-layer underfill). This is why the
+	// aggregate throughput is less than the sum of the standalone
+	// carriers (paper Fig 6 / §4.3).
+	CAOverheadPerCC float64
+}
+
+// NewScheduler creates a scheduler with the study's default policy knobs.
+func NewScheduler(src *rng.Source) *Scheduler {
+	return &Scheduler{
+		src:                  src.Split(),
+		fading:               map[int]*rng.OU{},
+		shareNoise:           map[int]*rng.OU{},
+		PDSCHOffsetDeepCA:    -10,
+		AggBWBudgetMHz:       120,
+		SchedulingEfficiency: 0.86,
+		CAOverheadPerCC:      0.09,
+	}
+}
+
+// fadingTauS and shareTauS are the decorrelation time constants of the
+// fast-fading and scheduler-share processes.
+const (
+	fadingTauS = 0.06
+	shareTauS  = 3.0
+)
+
+func (s *Scheduler) fadingFor(pci int, sigma, dt float64) float64 {
+	theta := 1 - math.Exp(-dt/fadingTauS)
+	f, ok := s.fading[pci]
+	if !ok {
+		f = rng.NewOU(s.src, 0, theta, sigma*math.Sqrt(theta*(2-theta)))
+		s.fading[pci] = f
+	}
+	f.Theta = theta
+	f.Sigma = sigma * math.Sqrt(theta*(2-theta))
+	return f.Step()
+}
+
+func (s *Scheduler) shareFor(pci int, dt float64) float64 {
+	theta := 1 - math.Exp(-dt/shareTauS)
+	const std = 0.05
+	n, ok := s.shareNoise[pci]
+	if !ok {
+		n = rng.NewOU(s.src, 0, theta, std*math.Sqrt(theta*(2-theta)))
+		s.shareNoise[pci] = n
+	}
+	n.Theta = theta
+	n.Sigma = std * math.Sqrt(theta*(2-theta))
+	return n.Step()
+}
+
+// fadingSigma returns the fast-fading std-dev (dB) for a mobility pattern
+// and carrier: faster UEs and mmWave carriers see deeper swings.
+func fadingSigma(pat mobility.Mobility, fr2 bool) float64 {
+	var sigma float64
+	switch pat {
+	case mobility.Stationary:
+		sigma = 0.9
+	case mobility.Walking:
+		sigma = 1.7
+	default:
+		sigma = 2.6
+	}
+	if fr2 {
+		sigma += 1.5
+	}
+	return sigma
+}
+
+// cqiLag returns the CQI-staleness penalty (dB) for a mobility pattern.
+func cqiLag(pat mobility.Mobility) float64 {
+	switch pat {
+	case mobility.Stationary:
+		return 0
+	case mobility.Walking:
+		return 1.0
+	default:
+		return 2.2
+	}
+}
+
+// Observe computes the per-CC observations and aggregate throughput for the
+// engine's current serving set with the UE at p, for a sampling interval of
+// dt seconds.
+func (s *Scheduler) Observe(e *Engine, p mobility.Point, pat mobility.Mobility, indoor bool, events []Event, dt float64) Snapshot {
+	serving := e.Serving()
+	snap := Snapshot{At: e.Now(), Events: events}
+	if len(serving) == 0 {
+		return snap
+	}
+	numCCs := len(serving)
+	// Aggregate bandwidth in activation order, to find throttled SCells.
+	cumBW := 0.0
+	for _, sc := range serving {
+		cell := sc.Cell
+		rs := e.MeasureServing(sc, p, indoor)
+		fr2 := cell.Chan.Band.Tech == spectrum.NR && cell.Chan.Band.Range() == spectrum.FR2
+		fade := s.fadingFor(cell.PCI, fadingSigma(pat, fr2), dt)
+
+		// Reported quantities come from SSB measurements: unaffected by
+		// PDSCH power policy.
+		reportedSINR := rs.SINRdB + fade
+		cqi := phy.CQIFromSINR(reportedSINR)
+		mcs := phy.MCSFromCQI(cqi)
+
+		// PDSCH conditioning under CA (paper Fig 14): deep combos reduce
+		// SCell transmit power on FDD carriers, collapsing spatial rank
+		// while the SSB-derived RSRP/CQI stay put.
+		maxRank := cell.MaxRank
+		if !sc.IsPCell && numCCs >= 3 && cell.Chan.Band.Duplex == spectrum.FDD {
+			effSINR := reportedSINR + s.PDSCHOffsetDeepCA
+			maxRank = phy.RankFromSINR(effSINR, 1)
+		}
+		layers := phy.RankFromSINR(reportedSINR, maxRank)
+		bler := phy.BLER(reportedSINR - sinrNeeded(cqi) - cqiLag(pat))
+
+		// RB share: background load plus CA throttling (paper Fig 15).
+		load := cell.Load()
+		share := 0.95 - 0.72*load + s.shareFor(cell.PCI, dt)
+		if !fr2 {
+			// The FR1 bandwidth budget: once the aggregate exceeds it,
+			// further SCells are deprioritized, increasingly so when
+			// the cell is busy. mmWave carriers have their own radio
+			// and do not count against it.
+			cumBW += cell.Chan.BandwidthMHz
+			if !sc.IsPCell && cumBW > s.AggBWBudgetMHz {
+				share *= 0.55 - 0.45*load
+			}
+		}
+		// Splitting one UE across CCs costs goodput: the PCell pays a
+		// small cross-carrier coordination cost, SCells a larger one
+		// (buffer splitting, per-CC HARQ). Both saturate so that adding
+		// a carrier is always net-positive — operators would not enable
+		// it otherwise — while the aggregate stays below the sum of the
+		// standalone carriers (paper Fig 6).
+		if numCCs > 1 {
+			rate := s.CAOverheadPerCC
+			floor := 0.72
+			if sc.IsPCell {
+				rate *= 0.4
+				floor = 0.88
+			}
+			oh := 1 - rate*float64(numCCs-1)
+			if oh < floor {
+				oh = floor
+			}
+			share *= oh
+		}
+		share = clamp(share, 0.08, 1.0)
+		rb := share * float64(cell.NumRB)
+
+		active := sc.Active(e.Now())
+		tput := 0.0
+		if active {
+			nRE := phy.NumRE(int(rb), phy.SymbolsPerSlot-1)
+			bitsPerSlot := phy.TBS(nRE, mcs, layers)
+			slots := float64(phy.SlotsPerSecond(cell.Chan.SCSKHz))
+			if cell.IsTDD() {
+				slots *= phy.TDDDownlinkFraction
+			}
+			tput = float64(bitsPerSlot) * slots * (1 - bler) * s.SchedulingEfficiency / 1e6
+		}
+		obs := CCObservation{
+			CellID:   cell.ID(),
+			PCI:      cell.PCI,
+			Chan:     cell.Chan,
+			IsPCell:  sc.IsPCell,
+			Active:   active,
+			RSRPdBm:  rs.RSRPdBm,
+			RSRQdB:   rs.RSRQdB,
+			SINRdB:   reportedSINR,
+			CQI:      cqi,
+			BLER:     bler,
+			MCS:      mcs.Index,
+			Layers:   layers,
+			RB:       rb,
+			TputMbps: tput,
+		}
+		snap.CCs = append(snap.CCs, obs)
+		snap.AggregateMbps += tput
+		if active {
+			snap.NumActiveCCs++
+		}
+	}
+	return snap
+}
+
+// sinrNeeded returns the SINR a CQI's efficiency requires (link-budget
+// inverse of the attenuated Shannon map).
+func sinrNeeded(cqi int) float64 {
+	if cqi <= 0 {
+		return -10
+	}
+	if cqi > phy.MaxCQI {
+		cqi = phy.MaxCQI
+	}
+	eff := phy.CQITable256QAM[cqi-1].Efficiency
+	lin := math.Pow(2, eff/0.75) - 1
+	return 10 * math.Log10(lin)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,103 @@
+// Package ran implements the radio-access-network side of the simulator:
+// cell deployment, the RRC carrier-aggregation engine (PCell selection,
+// SCell add/remove/activate events), the MAC scheduler with per-CC power,
+// MIMO and resource-block policies, and the UE capability model. Together
+// with internal/phy it produces the per-CC radio features and throughput the
+// paper measures with XCAL.
+package ran
+
+import "fmt"
+
+// Modem identifies a 5G modem chipset generation (paper Table 5).
+type Modem uint8
+
+// Qualcomm Snapdragon modem generations used by the measurement phones.
+const (
+	// ModemX50 (Galaxy S10): NSA-only, no SA 5G CA.
+	ModemX50 Modem = iota
+	// ModemX55 (S20 Ultra): 2CC FR1 CA.
+	ModemX55
+	// ModemX60 (S21 Ultra / S21 FE): 2CC FR1 CA.
+	ModemX60
+	// ModemX65 (S22): 3CC FR1 CA.
+	ModemX65
+	// ModemX70 (S23): 4CC FR1 CA.
+	ModemX70
+)
+
+// String implements fmt.Stringer.
+func (m Modem) String() string {
+	switch m {
+	case ModemX50:
+		return "X50"
+	case ModemX55:
+		return "X55"
+	case ModemX60:
+		return "X60"
+	case ModemX65:
+		return "X65"
+	case ModemX70:
+		return "X70"
+	default:
+		return fmt.Sprintf("Modem(%d)", uint8(m))
+	}
+}
+
+// Phone returns the representative Samsung Galaxy model carrying the modem.
+func (m Modem) Phone() string {
+	switch m {
+	case ModemX50:
+		return "S10"
+	case ModemX55:
+		return "S20 Ultra"
+	case ModemX60:
+		return "S21 Ultra"
+	case ModemX65:
+		return "S22"
+	case ModemX70:
+		return "S23"
+	default:
+		return "unknown"
+	}
+}
+
+// AllModems lists the modem generations in release order.
+func AllModems() []Modem {
+	return []Modem{ModemX50, ModemX55, ModemX60, ModemX65, ModemX70}
+}
+
+// MaxNRCCsFR1 returns the deepest FR1 5G CA the modem supports (paper
+// Fig 29: S10 none, S21 2CC, S22 3CC).
+func (m Modem) MaxNRCCsFR1() int {
+	switch m {
+	case ModemX50:
+		return 1 // single carrier only, no SA CA
+	case ModemX55, ModemX60:
+		return 2
+	case ModemX65:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// MaxNRCCsFR2 returns the deepest mmWave CA the modem supports.
+func (m Modem) MaxNRCCsFR2() int {
+	if m == ModemX50 {
+		return 2
+	}
+	return 8
+}
+
+// MaxLTECCs returns the deepest 4G CA the modem supports (all 5).
+func (m Modem) MaxLTECCs() int { return 5 }
+
+// UE is one measurement handset.
+type UE struct {
+	// Name labels the device in outputs, e.g. "S22".
+	Name  string
+	Modem Modem
+}
+
+// NewUE returns a UE named after the modem's representative phone.
+func NewUE(m Modem) UE { return UE{Name: m.Phone(), Modem: m} }

@@ -1,0 +1,468 @@
+// Package sim is the measurement-campaign generator: the stand-in for the
+// paper's XCAL-instrumented drive/walk testing over commercial carrier
+// networks. It wires the mobility, RAN and PHY substrates together and emits
+// traces in the trace package's format, at the paper's two granularities
+// (10 ms and 1 s), across operators, scenarios, mobility patterns and UE
+// models (paper Tables 1 and 11).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"prism5g/internal/mobility"
+	"prism5g/internal/ran"
+	"prism5g/internal/rng"
+	"prism5g/internal/spectrum"
+	"prism5g/internal/trace"
+)
+
+// RunConfig describes one measurement run.
+type RunConfig struct {
+	Operator spectrum.Operator
+	Scenario mobility.Scenario
+	Mobility mobility.Mobility
+	Modem    ran.Modem
+	// Tech selects 4G or 5G measurement (the paper collects both).
+	Tech spectrum.Tech
+	// DurationS is the run length in simulated seconds.
+	DurationS float64
+	// StepS is the sampling interval: 0.01 (short) or 1 (long).
+	StepS float64
+	// Seed makes the run reproducible.
+	Seed uint64
+	// BandLock restricts usable bands (paper methodology [C1]).
+	BandLock []string
+	// ChannelLock restricts usable channels by ID ("n41^a"); finer than
+	// BandLock, used for the single-channel comparisons (paper Fig 6).
+	ChannelLock []string
+	// TODMultiplier scales background load for time-of-day effects
+	// (1.0 = the paper's midnight baseline, ~1.9 = rush hour).
+	TODMultiplier float64
+	// Start optionally pins the UE start position.
+	Start *mobility.Point
+	// WarmupS runs the engine before recording so traces start from a
+	// steady CA state rather than the initial attach ramp. Negative
+	// disables warmup; zero means the 8 s default.
+	WarmupS float64
+	// Route / Run label the trace for generalizability splits.
+	Route, Run int
+	// Net optionally reuses an existing network (so multiple runs see
+	// the same deployment); nil builds one from the seed.
+	Net *ran.Network
+}
+
+func (c *RunConfig) defaults() {
+	if c.DurationS == 0 {
+		c.DurationS = 60
+	}
+	if c.StepS == 0 {
+		c.StepS = 1
+	}
+	if c.TODMultiplier == 0 {
+		c.TODMultiplier = 1
+	}
+	if c.WarmupS == 0 {
+		c.WarmupS = 8
+	}
+}
+
+// RunStats summarizes a run beyond the trace itself.
+type RunStats struct {
+	Events        []ran.Event
+	Census        *spectrum.ComboCensus
+	DistanceM     float64
+	MaxActiveCCs  int
+	PeakAggMbps   float64
+	MeanAggMbps   float64
+	CCChangeCount int
+}
+
+// eventHold is how long (seconds) an RRC event stays visible in the event
+// feature channel; roughly the activation delay, so that the feature leads
+// the throughput transition.
+const eventHold = 0.3
+
+// Run executes one measurement run and returns its trace and statistics.
+func Run(cfg RunConfig) (trace.Trace, RunStats) {
+	cfg.defaults()
+	src := rng.New(cfg.Seed)
+	net := cfg.Net
+	if net == nil {
+		net = ran.NewNetwork(cfg.Operator, cfg.Scenario, src)
+	}
+	ue := ran.NewUE(cfg.Modem)
+	eng := ran.NewEngine(net, ue, ran.DefaultConfig(cfg.Tech), src)
+	if len(cfg.BandLock) > 0 {
+		eng.LockBands(cfg.BandLock...)
+	}
+	if len(cfg.ChannelLock) > 0 {
+		eng.LockChannels(cfg.ChannelLock...)
+	}
+	sched := ran.NewScheduler(src)
+
+	start := mobility.Point{X: cfg.Scenario.ExtentM() * 0.5, Y: cfg.Scenario.ExtentM() * 0.5}
+	if cfg.Scenario == mobility.Beltway {
+		start = mobility.Point{X: 200, Y: 0}
+	}
+	if cfg.Start != nil {
+		start = *cfg.Start
+	}
+	mv := mobility.NewMover(cfg.Scenario, cfg.Mobility, start, src)
+
+	tr := trace.Trace{
+		Meta: trace.Meta{
+			Operator: string(cfg.Operator),
+			Scenario: cfg.Scenario.String(),
+			Mobility: cfg.Mobility.String(),
+			Modem:    cfg.Modem.String(),
+			Route:    cfg.Route,
+			Run:      cfg.Run,
+		},
+		StepS: cfg.StepS,
+	}
+	stats := RunStats{Census: spectrum.NewComboCensus()}
+
+	slots := newSlotTable()
+	// eventUntil[pci] = (sign, deadline): the event channel value to show.
+	type evMark struct {
+		sign  float64
+		until float64
+	}
+	eventMarks := map[int]evMark{}
+
+	indoor := cfg.Scenario.IsIndoor()
+	// Warm up: let the UE attach and build its CA set before recording.
+	const warmStep = 0.2
+	for t := 0.0; t < cfg.WarmupS; t += warmStep {
+		moved := mv.Step(warmStep)
+		stats.DistanceM += moved
+		net.StepLoads(cfg.TODMultiplier, warmStep)
+		eng.Step(mv.Pos(), moved, warmStep, indoor)
+	}
+	t0 := eng.Now()
+
+	steps := int(cfg.DurationS / cfg.StepS)
+	var aggSum float64
+	prevCCs := -1
+	for i := 0; i < steps; i++ {
+		moved := mv.Step(cfg.StepS)
+		stats.DistanceM += moved
+		net.StepLoads(cfg.TODMultiplier, cfg.StepS)
+		events := eng.Step(mv.Pos(), moved, cfg.StepS, indoor)
+		snap := sched.Observe(eng, mv.Pos(), cfg.Mobility, indoor, events, cfg.StepS)
+
+		for _, ev := range events {
+			stats.Events = append(stats.Events, ev)
+			if ev.Cell == nil {
+				continue
+			}
+			switch ev.Type {
+			case ran.EvSCellAdd, ran.EvSCellActivate, ran.EvPCellSwitch:
+				eventMarks[ev.Cell.PCI] = evMark{sign: 1, until: snap.At + eventHold}
+			case ran.EvSCellRemove, ran.EvRadioLinkFailure:
+				eventMarks[ev.Cell.PCI] = evMark{sign: -1, until: snap.At + eventHold}
+			}
+		}
+
+		var s trace.Sample
+		s.T = snap.At - t0
+		s.AggTput = snap.AggregateMbps
+		s.NumActiveCCs = snap.NumActiveCCs
+		slots.sync(snap.CCs)
+		for _, cc := range snap.CCs {
+			slot, ok := slots.slotOf(cc.PCI)
+			if !ok {
+				continue // beyond MaxCC slots: contributes to aggregate only
+			}
+			dst := &s.CCs[slot]
+			dst.Present = true
+			dst.BandName = cc.Chan.Band.Name
+			dst.ChannelID = cc.Chan.ID()
+			dst.IsPCell = cc.IsPCell
+			if cc.Active {
+				dst.Vec[trace.FActive] = 1
+			}
+			if m, ok := eventMarks[cc.PCI]; ok && snap.At <= m.until {
+				dst.Vec[trace.FEvent] = m.sign
+			}
+			dst.Vec[trace.FBWMHz] = cc.Chan.BandwidthMHz
+			dst.Vec[trace.FFreqGHz] = cc.Chan.CenterMHz / 1000
+			dst.Vec[trace.FRSRP] = cc.RSRPdBm
+			dst.Vec[trace.FRSRQ] = cc.RSRQdB
+			dst.Vec[trace.FSINR] = cc.SINRdB
+			dst.Vec[trace.FCQI] = float64(cc.CQI)
+			dst.Vec[trace.FBLER] = cc.BLER
+			dst.Vec[trace.FRB] = cc.RB
+			dst.Vec[trace.FLayers] = float64(cc.Layers)
+			dst.Vec[trace.FMCS] = float64(cc.MCS)
+			dst.Vec[trace.FTput] = cc.TputMbps
+		}
+		tr.Samples = append(tr.Samples, s)
+
+		aggSum += snap.AggregateMbps
+		if snap.AggregateMbps > stats.PeakAggMbps {
+			stats.PeakAggMbps = snap.AggregateMbps
+		}
+		if snap.NumActiveCCs > stats.MaxActiveCCs {
+			stats.MaxActiveCCs = snap.NumActiveCCs
+		}
+		if prevCCs >= 0 && snap.NumActiveCCs != prevCCs {
+			stats.CCChangeCount++
+		}
+		prevCCs = snap.NumActiveCCs
+		if combo := eng.Combo(); len(combo) > 0 {
+			stats.Census.Observe(combo)
+		}
+	}
+	if steps > 0 {
+		stats.MeanAggMbps = aggSum / float64(steps)
+	}
+	return tr, stats
+}
+
+// slotTable assigns serving CCs to stable trace slots: the PCell always
+// occupies slot 0; SCells take the lowest free slot and keep it while
+// configured.
+type slotTable struct {
+	byPCI map[int]int
+	used  [trace.MaxCC]bool
+}
+
+func newSlotTable() *slotTable {
+	return &slotTable{byPCI: map[int]int{}}
+}
+
+// sync reconciles the table with the current serving set.
+func (st *slotTable) sync(ccs []ran.CCObservation) {
+	current := map[int]bool{}
+	var pcellPCI int
+	hasPCell := false
+	for _, cc := range ccs {
+		current[cc.PCI] = true
+		if cc.IsPCell {
+			pcellPCI, hasPCell = cc.PCI, true
+		}
+	}
+	// Release departed CCs.
+	for pci, slot := range st.byPCI {
+		if !current[pci] {
+			st.used[slot] = false
+			delete(st.byPCI, pci)
+		}
+	}
+	// PCell owns slot 0: evict any SCell holding it.
+	if hasPCell {
+		if slot, ok := st.byPCI[pcellPCI]; !ok || slot != 0 {
+			if ok {
+				st.used[slot] = false
+				delete(st.byPCI, pcellPCI)
+			}
+			if holder, held := st.slotHolder(0); held {
+				// Move the squatter to a free slot if any.
+				st.used[0] = false
+				delete(st.byPCI, holder)
+				if free, ok := st.freeSlot(1); ok {
+					st.byPCI[holder] = free
+					st.used[free] = true
+				}
+			}
+			st.byPCI[pcellPCI] = 0
+			st.used[0] = true
+		}
+	}
+	// Assign remaining CCs.
+	for _, cc := range ccs {
+		if _, ok := st.byPCI[cc.PCI]; ok {
+			continue
+		}
+		if free, ok := st.freeSlot(1); ok {
+			st.byPCI[cc.PCI] = free
+			st.used[free] = true
+		}
+	}
+}
+
+func (st *slotTable) slotHolder(slot int) (int, bool) {
+	for pci, s := range st.byPCI {
+		if s == slot {
+			return pci, true
+		}
+	}
+	return 0, false
+}
+
+func (st *slotTable) freeSlot(from int) (int, bool) {
+	for i := from; i < trace.MaxCC; i++ {
+		if !st.used[i] {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (st *slotTable) slotOf(pci int) (int, bool) {
+	s, ok := st.byPCI[pci]
+	return s, ok
+}
+
+// Granularity selects the paper's two dataset time scales.
+type Granularity uint8
+
+const (
+	// Short is the 10 ms scale with a 100 ms prediction horizon.
+	Short Granularity = iota
+	// Long is the 1 s scale with a 10 s prediction horizon.
+	Long
+)
+
+// String implements fmt.Stringer.
+func (g Granularity) String() string {
+	if g == Short {
+		return "short"
+	}
+	return "long"
+}
+
+// StepS returns the sampling interval of the granularity.
+func (g Granularity) StepS() float64 {
+	if g == Short {
+		return 0.01
+	}
+	return 1
+}
+
+// SubDatasetSpec identifies one of the six ML sub-datasets of Table 11.
+type SubDatasetSpec struct {
+	Operator spectrum.Operator
+	Mobility mobility.Mobility
+	Gran     Granularity
+}
+
+// Name returns the canonical sub-dataset name, e.g. "OpZ-driving-short".
+func (s SubDatasetSpec) Name() string {
+	return fmt.Sprintf("%s-%s-%s", s.Operator, s.Mobility, s.Gran)
+}
+
+// AllSubDatasets enumerates the paper's 6 sub-datasets at one granularity:
+// {OpX, OpY, OpZ} x {walking, driving}.
+func AllSubDatasets(g Granularity) []SubDatasetSpec {
+	var out []SubDatasetSpec
+	for _, op := range spectrum.AllOperators() {
+		for _, mob := range []mobility.Mobility{mobility.Walking, mobility.Driving} {
+			out = append(out, SubDatasetSpec{Operator: op, Mobility: mob, Gran: g})
+		}
+	}
+	return out
+}
+
+// BuildOpts controls dataset building.
+type BuildOpts struct {
+	// TracesPerScenario is the number of traces (paper: 10).
+	Traces int
+	// SamplesPerTrace is the trace length in samples (paper: 300-600).
+	SamplesPerTrace int
+	// Seed derives all randomness.
+	Seed uint64
+	// Modem is the UE used (paper's ML data comes from 3-4CC phones).
+	Modem ran.Modem
+}
+
+// DefaultBuildOpts mirrors Table 11: 10 traces, ~450 samples each.
+func DefaultBuildOpts(seed uint64) BuildOpts {
+	return BuildOpts{Traces: 10, SamplesPerTrace: 450, Seed: seed, Modem: ran.ModemX70}
+}
+
+// Build generates the sub-dataset: traces alternate between urban and
+// suburban scenarios for driving, and urban/indoor for walking, like the
+// paper's scenario mix.
+func Build(spec SubDatasetSpec, opts BuildOpts) *trace.Dataset {
+	if opts.Traces == 0 {
+		opts = DefaultBuildOpts(opts.Seed)
+	}
+	d := &trace.Dataset{Name: spec.Name(), StepS: spec.Gran.StepS()}
+	seedSrc := rng.New(opts.Seed ^ uint64(len(spec.Name()))*0x9e37)
+	for i := 0; i < opts.Traces; i++ {
+		sc := mobility.Urban
+		if spec.Mobility == mobility.Driving {
+			if i%3 == 1 {
+				sc = mobility.Suburban
+			} else if i%3 == 2 {
+				sc = mobility.Beltway
+			}
+		} else if i%2 == 1 {
+			sc = mobility.Indoor
+		}
+		dur := float64(opts.SamplesPerTrace) * spec.Gran.StepS()
+		if spec.Gran == Short {
+			// The 10 ms sub-datasets must cover CA transitions (the
+			// paper's Z1/Z2 analysis depends on them), but at 4-6 s per
+			// segment a random cut usually misses one. Simulate a longer
+			// run and cut the segment around the first CC-count change,
+			// exactly how transition-focused trace segments are
+			// extracted from a continuous drive log.
+			dur = math.Max(45, 3*dur)
+		}
+		tr, _ := Run(RunConfig{
+			Operator:  spec.Operator,
+			Scenario:  sc,
+			Mobility:  spec.Mobility,
+			Modem:     opts.Modem,
+			Tech:      spectrum.NR,
+			DurationS: dur,
+			StepS:     spec.Gran.StepS(),
+			Seed:      seedSrc.Uint64(),
+			Route:     i / 2,
+			Run:       i % 2,
+		})
+		if spec.Gran == Short {
+			tr = CutAroundTransition(tr, opts.SamplesPerTrace)
+		}
+		d.Traces = append(d.Traces, tr)
+	}
+	return d
+}
+
+// CutAroundTransition returns the n-sample segment of tr containing the
+// most active-CC-count changes (ties broken toward the earliest segment);
+// without any transition it returns the head of the trace. Sample
+// timestamps are rebased to start at zero. This mirrors how transition-rich
+// segments (the paper's Z1/Z2 areas) are extracted from a continuous drive
+// log.
+func CutAroundTransition(tr trace.Trace, n int) trace.Trace {
+	if n <= 0 || n >= len(tr.Samples) {
+		return tr
+	}
+	// Transition indicator per sample.
+	N := len(tr.Samples)
+	trans := make([]int, N)
+	for i := 1; i < N; i++ {
+		if tr.Samples[i].NumActiveCCs != tr.Samples[i-1].NumActiveCCs {
+			trans[i] = 1
+		}
+	}
+	// Sliding-window count, keeping the transition away from the very
+	// edges by evaluating interior coverage only.
+	count := 0
+	for i := 0; i < n; i++ {
+		count += trans[i]
+	}
+	best, bestStart := count, 0
+	for startIdx := 1; startIdx+n <= N; startIdx++ {
+		count += trans[startIdx+n-1] - trans[startIdx-1]
+		if count > best {
+			best, bestStart = count, startIdx
+		}
+	}
+	start := bestStart
+	if start+n > len(tr.Samples) {
+		start = len(tr.Samples) - n
+	}
+	out := tr
+	out.Samples = append([]trace.Sample(nil), tr.Samples[start:start+n]...)
+	t0 := out.Samples[0].T
+	for i := range out.Samples {
+		out.Samples[i].T -= t0
+	}
+	return out
+}

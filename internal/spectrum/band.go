@@ -1,0 +1,227 @@
+// Package spectrum models the 3GPP radio-spectrum building blocks the paper
+// measures: 4G LTE bands ("b"-prefixed) and 5G NR bands ("n"-prefixed), their
+// duplex mode, frequency range, permitted channel bandwidths and sub-carrier
+// spacings, plus the per-operator channel plans observed in the study
+// (paper Tables 2(a) and 6).
+package spectrum
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Duplex is the duplexing mode of a band.
+type Duplex uint8
+
+const (
+	// FDD uses a paired spectrum: dedicated downlink and uplink channels.
+	FDD Duplex = iota
+	// TDD shares one channel between downlink and uplink in time slots.
+	TDD
+)
+
+// String implements fmt.Stringer.
+func (d Duplex) String() string {
+	if d == TDD {
+		return "TDD"
+	}
+	return "FDD"
+}
+
+// Tech distinguishes 4G LTE from 5G NR.
+type Tech uint8
+
+const (
+	// LTE is 4G.
+	LTE Tech = iota
+	// NR is 5G New Radio.
+	NR
+)
+
+// String implements fmt.Stringer.
+func (t Tech) String() string {
+	if t == NR {
+		return "5G"
+	}
+	return "4G"
+}
+
+// FreqRange classifies NR spectrum: FR1 (sub-7 GHz) vs FR2 (mmWave).
+type FreqRange uint8
+
+const (
+	// FR1 covers low-band (<1 GHz) and mid-band (1-7 GHz).
+	FR1 FreqRange = iota
+	// FR2 covers the mmWave high band (24-60 GHz).
+	FR2
+)
+
+// String implements fmt.Stringer.
+func (f FreqRange) String() string {
+	if f == FR2 {
+		return "FR2"
+	}
+	return "FR1"
+}
+
+// BandClass is the coarse coverage class of a band.
+type BandClass uint8
+
+const (
+	// LowBand is below 1 GHz: widest coverage, least bandwidth.
+	LowBand BandClass = iota
+	// MidBand is 1-7 GHz: the 5G capacity workhorse.
+	MidBand
+	// HighBand is mmWave (24-60 GHz): huge bandwidth, tiny coverage.
+	HighBand
+)
+
+// String implements fmt.Stringer.
+func (c BandClass) String() string {
+	switch c {
+	case LowBand:
+		return "low"
+	case MidBand:
+		return "mid"
+	default:
+		return "high"
+	}
+}
+
+// Band describes one 3GPP frequency band as used in the study.
+type Band struct {
+	// Name is the 3GPP designation with the paper's prefix convention:
+	// "b" for 4G (e.g. b66), "n" for 5G (e.g. n77).
+	Name string
+	Tech Tech
+	// Duplex is the band's duplexing mode.
+	Duplex Duplex
+	// FreqMHz is the nominal center frequency in MHz (paper Table 6).
+	FreqMHz float64
+	// BandwidthsMHz lists the channel bandwidths observed for this band.
+	BandwidthsMHz []float64
+	// SCSKHz lists the permitted sub-carrier spacings in kHz. 4G bands
+	// are fixed at 15 kHz; FR1 NR allows 15/30/60; FR2 allows 60/120.
+	SCSKHz []int
+}
+
+// Class returns the coverage class derived from the band frequency.
+func (b Band) Class() BandClass {
+	switch {
+	case b.FreqMHz < 1000:
+		return LowBand
+	case b.FreqMHz < 7125:
+		return MidBand
+	default:
+		return HighBand
+	}
+}
+
+// Range returns FR1 or FR2 for NR bands (FR1 for all LTE bands).
+func (b Band) Range() FreqRange {
+	if b.FreqMHz >= 24000 {
+		return FR2
+	}
+	return FR1
+}
+
+// MaxBandwidthMHz returns the widest channel bandwidth the band supports.
+func (b Band) MaxBandwidthMHz() float64 {
+	m := 0.0
+	for _, bw := range b.BandwidthsMHz {
+		if bw > m {
+			m = bw
+		}
+	}
+	return m
+}
+
+// SupportsBandwidth reports whether bw (MHz) is a permitted channel width.
+func (b Band) SupportsBandwidth(bw float64) bool {
+	for _, v := range b.BandwidthsMHz {
+		if v == bw {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultSCSKHz returns the typical sub-carrier spacing used on this band:
+// 15 kHz for LTE, 30 kHz for FR1 NR, 120 kHz for FR2 NR.
+func (b Band) DefaultSCSKHz() int {
+	if b.Tech == LTE {
+		return 15
+	}
+	if b.Range() == FR2 {
+		return 120
+	}
+	return 30
+}
+
+// bands is the catalog from paper Table 6 (4G & 5G channels observed).
+var bands = []Band{
+	// --- 4G LTE bands ---
+	{Name: "b2", Tech: LTE, Duplex: FDD, FreqMHz: 1900, BandwidthsMHz: []float64{5, 10, 15, 20}, SCSKHz: []int{15}},
+	{Name: "b4", Tech: LTE, Duplex: FDD, FreqMHz: 1700, BandwidthsMHz: []float64{10, 15, 20}, SCSKHz: []int{15}},
+	{Name: "b5", Tech: LTE, Duplex: FDD, FreqMHz: 850, BandwidthsMHz: []float64{10}, SCSKHz: []int{15}},
+	{Name: "b12", Tech: LTE, Duplex: FDD, FreqMHz: 700, BandwidthsMHz: []float64{5, 10}, SCSKHz: []int{15}},
+	{Name: "b13", Tech: LTE, Duplex: FDD, FreqMHz: 700, BandwidthsMHz: []float64{10}, SCSKHz: []int{15}},
+	{Name: "b14", Tech: LTE, Duplex: FDD, FreqMHz: 700, BandwidthsMHz: []float64{10}, SCSKHz: []int{15}},
+	{Name: "b25", Tech: LTE, Duplex: FDD, FreqMHz: 1900, BandwidthsMHz: []float64{5}, SCSKHz: []int{15}},
+	{Name: "b29", Tech: LTE, Duplex: FDD, FreqMHz: 700, BandwidthsMHz: []float64{5}, SCSKHz: []int{15}},
+	{Name: "b30", Tech: LTE, Duplex: FDD, FreqMHz: 2300, BandwidthsMHz: []float64{5, 10}, SCSKHz: []int{15}},
+	{Name: "b41", Tech: LTE, Duplex: TDD, FreqMHz: 2500, BandwidthsMHz: []float64{20}, SCSKHz: []int{15}},
+	{Name: "b46", Tech: LTE, Duplex: TDD, FreqMHz: 5200, BandwidthsMHz: []float64{20}, SCSKHz: []int{15}},
+	{Name: "b48", Tech: LTE, Duplex: TDD, FreqMHz: 3600, BandwidthsMHz: []float64{10, 20}, SCSKHz: []int{15}},
+	{Name: "b66", Tech: LTE, Duplex: FDD, FreqMHz: 2100, BandwidthsMHz: []float64{5, 10, 15, 20}, SCSKHz: []int{15}},
+	{Name: "b71", Tech: LTE, Duplex: FDD, FreqMHz: 600, BandwidthsMHz: []float64{5}, SCSKHz: []int{15}},
+	// --- 5G NR bands ---
+	{Name: "n5", Tech: NR, Duplex: FDD, FreqMHz: 850, BandwidthsMHz: []float64{10}, SCSKHz: []int{15, 30}},
+	{Name: "n25", Tech: NR, Duplex: FDD, FreqMHz: 1900, BandwidthsMHz: []float64{20}, SCSKHz: []int{15, 30}},
+	{Name: "n41", Tech: NR, Duplex: TDD, FreqMHz: 2500, BandwidthsMHz: []float64{20, 40, 60, 100}, SCSKHz: []int{15, 30}},
+	{Name: "n66", Tech: NR, Duplex: FDD, FreqMHz: 2100, BandwidthsMHz: []float64{5, 10}, SCSKHz: []int{15, 30}},
+	{Name: "n71", Tech: NR, Duplex: FDD, FreqMHz: 600, BandwidthsMHz: []float64{15, 20}, SCSKHz: []int{15, 30}},
+	{Name: "n77", Tech: NR, Duplex: TDD, FreqMHz: 3700, BandwidthsMHz: []float64{40, 60, 100}, SCSKHz: []int{15, 30}},
+	{Name: "n260", Tech: NR, Duplex: TDD, FreqMHz: 39000, BandwidthsMHz: []float64{100}, SCSKHz: []int{60, 120}},
+	{Name: "n261", Tech: NR, Duplex: TDD, FreqMHz: 28000, BandwidthsMHz: []float64{100}, SCSKHz: []int{60, 120}},
+}
+
+var bandByName = func() map[string]Band {
+	m := make(map[string]Band, len(bands))
+	for _, b := range bands {
+		m[b.Name] = b
+	}
+	return m
+}()
+
+// BandByName returns the band with the given 3GPP name (e.g. "n41").
+func BandByName(name string) (Band, error) {
+	b, ok := bandByName[name]
+	if !ok {
+		return Band{}, fmt.Errorf("spectrum: unknown band %q", name)
+	}
+	return b, nil
+}
+
+// MustBand is like BandByName but panics on unknown names. Intended for
+// statically known band names in tables and tests.
+func MustBand(name string) Band {
+	b, err := BandByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// AllBands returns the full catalog, sorted by technology then name.
+func AllBands() []Band {
+	out := make([]Band, len(bands))
+	copy(out, bands)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tech != out[j].Tech {
+			return out[i].Tech < out[j].Tech
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV streams a trace as CSV: one row per sample with aggregate fields
+// followed by the per-CC feature blocks. The layout matches what the paper's
+// published artifact exports from XCAL logs.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"t", "agg_tput_mbps", "num_active_ccs"}
+	for c := 0; c < MaxCC; c++ {
+		header = append(header,
+			fmt.Sprintf("cc%d_channel", c),
+			fmt.Sprintf("cc%d_pcell", c))
+		for f := 0; f < NumCCFeatures; f++ {
+			header = append(header, fmt.Sprintf("cc%d_%s", c, CCFeatureNames[f]))
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(header))
+	for _, s := range t.Samples {
+		row = row[:0]
+		row = append(row,
+			strconv.FormatFloat(s.T, 'f', 3, 64),
+			strconv.FormatFloat(s.AggTput, 'f', 3, 64),
+			strconv.Itoa(s.NumActiveCCs))
+		for c := 0; c < MaxCC; c++ {
+			cc := s.CCs[c]
+			row = append(row, cc.ChannelID, strconv.FormatBool(cc.IsPCell))
+			for f := 0; f < NumCCFeatures; f++ {
+				row = append(row, strconv.FormatFloat(cc.Vec[f], 'f', 4, 64))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON encodes the dataset as JSON.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(d)
+}
+
+// ReadJSON decodes a dataset previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("trace: decode dataset: %w", err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prism5g/internal/rng"
+)
+
+// Property: scaling then inverting throughput is the identity for any
+// range and any value inside it.
+func TestQuickScalerRoundTrip(t *testing.T) {
+	f := func(a, b uint16, frac uint8) bool {
+		lo, hi := float64(a), float64(a)+float64(b)+1
+		var sc Scaler
+		tr := Trace{StepS: 1}
+		s1, s2 := Sample{AggTput: lo}, Sample{AggTput: hi}
+		tr.Samples = []Sample{s1, s2}
+		sc.Fit([]Trace{tr})
+		v := lo + (hi-lo)*float64(frac)/255
+		return math.Abs(sc.InvertTput(sc.ScaleTput(v))-v) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of extracted windows is exactly
+// ceil((n - T - H + 1) / stride) for any valid trace length.
+func TestQuickWindowCount(t *testing.T) {
+	f := func(nRaw, strideRaw uint8) bool {
+		n := int(nRaw)%120 + 1
+		stride := int(strideRaw)%4 + 1
+		tr := Trace{StepS: 1}
+		for i := 0; i < n; i++ {
+			tr.Samples = append(tr.Samples, Sample{AggTput: float64(i)})
+		}
+		d := &Dataset{StepS: 1, Traces: []Trace{tr}}
+		var sc Scaler
+		sc.Fit(d.Traces)
+		ws := Windows(d, &sc, WindowOpts{History: 10, Horizon: 10, Stride: stride})
+		want := 0
+		if n >= 20 {
+			want = (n - 20 + stride) / stride
+		}
+		return len(ws) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: splits partition the windows (no loss, no duplication) for any
+// fractions in [0, 1] with sum <= 1.
+func TestQuickSplitPartitions(t *testing.T) {
+	d := &Dataset{StepS: 1}
+	tr := Trace{StepS: 1}
+	for i := 0; i < 80; i++ {
+		tr.Samples = append(tr.Samples, Sample{AggTput: float64(i)})
+	}
+	d.Traces = []Trace{tr}
+	var sc Scaler
+	sc.Fit(d.Traces)
+	ws := Windows(d, &sc, DefaultWindowOpts())
+	f := func(aRaw, bRaw uint8, seed uint64) bool {
+		a := float64(aRaw) / 512 // <= ~0.5
+		b := float64(bRaw) / 512
+		train, val, test := Split(ws, a, b, rng.New(seed))
+		if len(train)+len(val)+len(test) != len(ws) {
+			return false
+		}
+		// Starts must be a permutation of the originals.
+		seen := map[int]int{}
+		for _, w := range ws {
+			seen[w.Start]++
+		}
+		for _, set := range [][]Window{train, val, test} {
+			for _, w := range set {
+				seen[w.Start]--
+			}
+		}
+		for _, v := range seen {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

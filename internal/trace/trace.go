@@ -1,0 +1,343 @@
+// Package trace defines the measurement-trace data model shared by the
+// simulator and the learning stack: per-step samples with per-CC feature
+// blocks (paper Tables 3/12), traces, datasets (paper Table 11), sliding
+// windows for sequence learning, min-max scaling and train/val/test splits.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"prism5g/internal/rng"
+)
+
+// MaxCC is the number of component-carrier slots a sample carries. Four
+// covers every FR1 combo in the study; deeper mmWave combos are folded into
+// the top slots by aggregate contribution.
+const MaxCC = 4
+
+// Per-CC feature indices within CCFeatures.Vec (paper Table 12). FBWMHz and
+// FFreqGHz encode the "Band Info" of Table 12 as physical quantities rather
+// than a one-hot, which generalizes across channels of one band.
+const (
+	FActive  = iota // carrier activation mask (binary)
+	FEvent          // signaling event: +1 add/activate, -1 remove, 0 none
+	FBWMHz          // channel bandwidth [MHz] (band info)
+	FFreqGHz        // carrier frequency [GHz] (band info)
+	FRSRP           // ss-RSRP [dBm]
+	FRSRQ           // ss-RSRQ [dB]
+	FSINR           // SINR [dB]
+	FCQI            // channel quality indicator
+	FBLER           // block error rate [0..1]
+	FRB             // allocated resource blocks
+	FLayers         // MIMO layers
+	FMCS            // modulation and coding scheme index
+	FTput           // historical per-CC throughput [Mbps]
+	NumCCFeatures
+)
+
+// CCFeatureNames labels the per-CC feature vector entries, index-aligned
+// with the F* constants.
+var CCFeatureNames = [NumCCFeatures]string{
+	"active", "event", "bwMHz", "freqGHz", "ssRSRP", "ssRSRQ", "SINR", "CQI", "BLER", "#RB", "#Layer", "MCS", "HisTput",
+}
+
+// CC is one component-carrier slot of a sample.
+type CC struct {
+	// Present reports whether a carrier is configured in this slot.
+	Present bool
+	// BandName is the 3GPP band of the carrier ("n41"), empty if absent.
+	BandName string
+	// ChannelID is the full channel identity ("n41^a").
+	ChannelID string
+	// IsPCell flags the primary cell.
+	IsPCell bool
+	// Vec is the numeric feature vector, indexed by the F* constants.
+	Vec [NumCCFeatures]float64
+}
+
+// Sample is one time step of a trace.
+type Sample struct {
+	// T is the timestamp in seconds from trace start.
+	T float64
+	// AggTput is the aggregate downlink throughput in Mbps.
+	AggTput float64
+	// NumActiveCCs is the number of carriers actually carrying data.
+	NumActiveCCs int
+	// CCs are the per-carrier feature slots.
+	CCs [MaxCC]CC
+}
+
+// Trace is one continuous measurement run.
+type Trace struct {
+	// Meta describes the run.
+	Meta Meta
+	// StepS is the sample interval in seconds (0.01 or 1 in the paper).
+	StepS float64
+	// Samples in time order.
+	Samples []Sample
+}
+
+// Meta identifies the conditions of a trace / dataset (paper Table 11).
+type Meta struct {
+	Operator string
+	Scenario string
+	Mobility string
+	Modem    string
+	// Route distinguishes different routes; Run distinguishes repeated
+	// runs of one route (used by the generalizability splits).
+	Route int
+	Run   int
+}
+
+// String implements fmt.Stringer.
+func (m Meta) String() string {
+	return fmt.Sprintf("%s/%s/%s route=%d run=%d", m.Operator, m.Scenario, m.Mobility, m.Route, m.Run)
+}
+
+// Dataset is a set of traces sharing a sampling granularity.
+type Dataset struct {
+	Name   string
+	StepS  float64
+	Traces []Trace
+}
+
+// NumSamples returns the total sample count across traces.
+func (d *Dataset) NumSamples() int {
+	n := 0
+	for _, t := range d.Traces {
+		n += len(t.Samples)
+	}
+	return n
+}
+
+// AggSeries returns the aggregate-throughput series of trace i.
+func (t *Trace) AggSeries() []float64 {
+	out := make([]float64, len(t.Samples))
+	for i, s := range t.Samples {
+		out[i] = s.AggTput
+	}
+	return out
+}
+
+// Window is one supervised learning example: T history steps and H future
+// steps, in *scaled* units (see Scaler).
+type Window struct {
+	// X is the per-CC feature tensor [MaxCC][T][NumCCFeatures].
+	X [][][]float64
+	// Mask is the CA activation mask [MaxCC][T] (the paper's I vector).
+	Mask [][]float64
+	// AggHist is the scaled aggregate throughput history [T].
+	AggHist []float64
+	// Y is the scaled future aggregate throughput [H] (the target).
+	Y []float64
+	// YPerCC is the scaled future per-CC throughput [MaxCC][H].
+	YPerCC [][]float64
+	// TraceIdx locates the window's source trace within its dataset.
+	TraceIdx int
+	// Start is the index of the first history sample in the trace.
+	Start int
+}
+
+// Scaler is a min-max scaler fit on training data only; throughput targets
+// and the per-CC throughput feature share one scale so predictions can be
+// inverted back to Mbps.
+type Scaler struct {
+	// FeatMin/FeatMax per CC-feature dimension.
+	FeatMin, FeatMax [NumCCFeatures]float64
+	// TputMin/TputMax scale aggregate and per-CC throughput.
+	TputMin, TputMax float64
+	fitted           bool
+}
+
+// Fit computes scaling ranges from the samples of the given traces.
+func (sc *Scaler) Fit(traces []Trace) {
+	for i := range sc.FeatMin {
+		sc.FeatMin[i] = math.Inf(1)
+		sc.FeatMax[i] = math.Inf(-1)
+	}
+	sc.TputMin, sc.TputMax = math.Inf(1), math.Inf(-1)
+	for _, tr := range traces {
+		for _, s := range tr.Samples {
+			if s.AggTput < sc.TputMin {
+				sc.TputMin = s.AggTput
+			}
+			if s.AggTput > sc.TputMax {
+				sc.TputMax = s.AggTput
+			}
+			for _, cc := range s.CCs {
+				if !cc.Present {
+					continue
+				}
+				for f := 0; f < NumCCFeatures; f++ {
+					v := cc.Vec[f]
+					if v < sc.FeatMin[f] {
+						sc.FeatMin[f] = v
+					}
+					if v > sc.FeatMax[f] {
+						sc.FeatMax[f] = v
+					}
+				}
+			}
+		}
+	}
+	// Degenerate guards.
+	if math.IsInf(sc.TputMin, 1) {
+		sc.TputMin, sc.TputMax = 0, 1
+	}
+	if sc.TputMax <= sc.TputMin {
+		sc.TputMax = sc.TputMin + 1
+	}
+	for f := 0; f < NumCCFeatures; f++ {
+		if math.IsInf(sc.FeatMin[f], 1) {
+			sc.FeatMin[f], sc.FeatMax[f] = 0, 1
+		}
+		if sc.FeatMax[f] <= sc.FeatMin[f] {
+			sc.FeatMax[f] = sc.FeatMin[f] + 1
+		}
+	}
+	// Per-CC throughput shares the aggregate scale.
+	sc.FeatMin[FTput], sc.FeatMax[FTput] = sc.TputMin, sc.TputMax
+	sc.fitted = true
+}
+
+// ScaleFeature scales one feature value to [0, 1] (clipped mildly beyond).
+func (sc *Scaler) ScaleFeature(f int, v float64) float64 {
+	return (v - sc.FeatMin[f]) / (sc.FeatMax[f] - sc.FeatMin[f])
+}
+
+// ScaleTput scales a throughput in Mbps to the unit range.
+func (sc *Scaler) ScaleTput(v float64) float64 {
+	return (v - sc.TputMin) / (sc.TputMax - sc.TputMin)
+}
+
+// InvertTput maps a scaled prediction back to Mbps.
+func (sc *Scaler) InvertTput(v float64) float64 {
+	return v*(sc.TputMax-sc.TputMin) + sc.TputMin
+}
+
+// Fitted reports whether Fit has been called.
+func (sc *Scaler) Fitted() bool { return sc.fitted }
+
+// WindowOpts configures window extraction.
+type WindowOpts struct {
+	// History is the input sequence length T (10 in the paper).
+	History int
+	// Horizon is the output sequence length H (10 in the paper).
+	Horizon int
+	// Stride between consecutive window starts (1 = dense).
+	Stride int
+}
+
+// DefaultWindowOpts mirrors the paper: input and output length 10.
+func DefaultWindowOpts() WindowOpts { return WindowOpts{History: 10, Horizon: 10, Stride: 1} }
+
+// Windows extracts supervised windows from every trace of the dataset,
+// scaled by sc (which must be fitted).
+func Windows(d *Dataset, sc *Scaler, opts WindowOpts) []Window {
+	if !sc.Fitted() {
+		panic("trace: scaler not fitted")
+	}
+	if opts.Stride <= 0 {
+		opts.Stride = 1
+	}
+	var out []Window
+	for ti := range d.Traces {
+		tr := &d.Traces[ti]
+		n := len(tr.Samples)
+		for start := 0; start+opts.History+opts.Horizon <= n; start += opts.Stride {
+			out = append(out, MakeWindow(tr, ti, start, sc, opts))
+		}
+	}
+	return out
+}
+
+// MakeWindow extracts the single window of tr whose history begins at
+// sample index start, scaled by sc. Callers must ensure
+// start+History+Horizon <= len(tr.Samples); the future part is only
+// meaningful when it exists, but online consumers (the QoE applications)
+// may pass a start whose horizon exceeds the trace, in which case the
+// missing future samples are zero.
+func MakeWindow(tr *Trace, ti, start int, sc *Scaler, opts WindowOpts) Window {
+	T, H := opts.History, opts.Horizon
+	w := Window{
+		X:        make([][][]float64, MaxCC),
+		Mask:     make([][]float64, MaxCC),
+		AggHist:  make([]float64, T),
+		Y:        make([]float64, H),
+		YPerCC:   make([][]float64, MaxCC),
+		TraceIdx: ti,
+		Start:    start,
+	}
+	for c := 0; c < MaxCC; c++ {
+		w.X[c] = make([][]float64, T)
+		w.Mask[c] = make([]float64, T)
+		w.YPerCC[c] = make([]float64, H)
+		for t := 0; t < T; t++ {
+			s := &tr.Samples[start+t]
+			vec := make([]float64, NumCCFeatures)
+			cc := &s.CCs[c]
+			if cc.Present {
+				vec[FActive] = cc.Vec[FActive]
+				vec[FEvent] = cc.Vec[FEvent]
+				for f := FBWMHz; f < NumCCFeatures; f++ {
+					vec[f] = sc.ScaleFeature(f, cc.Vec[f])
+				}
+			}
+			w.X[c][t] = vec
+			w.Mask[c][t] = vec[FActive]
+		}
+		for h := 0; h < H; h++ {
+			if start+T+h >= len(tr.Samples) {
+				break
+			}
+			s := &tr.Samples[start+T+h]
+			if s.CCs[c].Present {
+				w.YPerCC[c][h] = sc.ScaleTput(s.CCs[c].Vec[FTput])
+			}
+		}
+	}
+	for t := 0; t < T; t++ {
+		w.AggHist[t] = sc.ScaleTput(tr.Samples[start+t].AggTput)
+	}
+	for h := 0; h < H; h++ {
+		if start+T+h >= len(tr.Samples) {
+			break
+		}
+		w.Y[h] = sc.ScaleTput(tr.Samples[start+T+h].AggTput)
+	}
+	return w
+}
+
+// Split partitions windows into train/validation/test sets with the given
+// ratios (paper: 0.5/0.2/0.3), shuffled deterministically by src.
+func Split(ws []Window, trainFrac, valFrac float64, src *rng.Source) (train, val, test []Window) {
+	idx := src.Perm(len(ws))
+	nTrain := int(trainFrac * float64(len(ws)))
+	nVal := int(valFrac * float64(len(ws)))
+	for i, j := range idx {
+		switch {
+		case i < nTrain:
+			train = append(train, ws[j])
+		case i < nTrain+nVal:
+			val = append(val, ws[j])
+		default:
+			test = append(test, ws[j])
+		}
+	}
+	return train, val, test
+}
+
+// SplitByTrace partitions windows so that whole traces land in one side —
+// the paper's generalizability protocol ("same route, different runs").
+// Traces whose index satisfies isTest go to test.
+func SplitByTrace(ws []Window, isTest func(traceIdx int) bool) (train, test []Window) {
+	for _, w := range ws {
+		if isTest(w.TraceIdx) {
+			test = append(test, w)
+		} else {
+			train = append(train, w)
+		}
+	}
+	return train, test
+}
