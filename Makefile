@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build vet test test-race fuzz-smoke bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the trace ingest path; CI-sized.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzReadJSON -fuzztime=20s ./internal/trace/
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+check: build vet test test-race fuzz-smoke

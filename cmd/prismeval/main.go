@@ -25,6 +25,7 @@ func main() {
 	doGeneral := flag.Bool("general", false, "run Table 14 generalizability")
 	doSeries := flag.Bool("series", false, "run the Fig 17/18 transition analysis")
 	doRuntime := flag.Bool("runtime", false, "run the §6.1 runtime comparison")
+	doRobust := flag.Bool("robust", false, "run the fault-severity robustness sweep")
 	doAll := flag.Bool("all", false, "run everything")
 	flag.Parse()
 
@@ -32,7 +33,7 @@ func main() {
 	if *quick {
 		cfg = experiments.QuickMLConfig(*seed)
 	}
-	if !(*doTable4 || *doAblation || *doGeneral || *doSeries || *doRuntime) {
+	if !(*doTable4 || *doAblation || *doGeneral || *doSeries || *doRuntime || *doRobust) {
 		*doAll = true
 	}
 
@@ -84,5 +85,11 @@ func main() {
 		for _, r := range experiments.RuntimeComparison(cfg) {
 			fmt.Printf("%-10s train %-10v infer %v/sample\n", r.Model, r.TrainTime.Round(1e6), r.InferPerSample)
 		}
+	}
+	if *doAll || *doRobust {
+		fmt.Println("\n== Robustness: RMSE vs fault severity (OpZ driving, 1 s scale) ==")
+		spec := sim.SubDatasetSpec{Operator: spectrum.OpZ, Mobility: mobility.Driving, Gran: sim.Long}
+		res := experiments.RobustnessSweep(spec, experiments.DefaultSeverities(), cfg)
+		fmt.Println(res.Format())
 	}
 }

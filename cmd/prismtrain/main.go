@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"prism5g/internal/experiments"
 	"prism5g/internal/mobility"
@@ -36,6 +37,10 @@ func main() {
 		m = mobility.Walking
 	}
 	spec := sim.SubDatasetSpec{Operator: spectrum.Operator(*op), Mobility: m, Gran: g}
+
+	if !experiments.IsKnownModel(*model) {
+		log.Fatalf("unknown model %q; known models: %s", *model, strings.Join(experiments.KnownModels(), ", "))
+	}
 
 	cfg := experiments.PaperMLConfig(*seed)
 	if *quick {

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"prism5g"
 )
@@ -29,7 +30,10 @@ func main() {
 	// the demo; see cmd/prismeval for the full evaluation.
 	cfg := prism5g.ModelConfig{Hidden: 16, Epochs: 20, Seed: 1}
 	prism := prism5g.NewPrism5G(bundle, cfg)
-	lstm := prism5g.NewBaseline("LSTM", bundle, cfg)
+	lstm, err := prism5g.NewBaselineE("LSTM", bundle, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("training LSTM ...")
 	lstm.Train(bundle.Train, bundle.Val)

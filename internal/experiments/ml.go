@@ -85,6 +85,24 @@ func BuildProblem(spec sim.SubDatasetSpec, cfg MLConfig) *Problem {
 	return &Problem{Spec: spec, Dataset: ds, Scaler: sc, Windows: ws, Train: train, Val: val, Test: test}
 }
 
+// KnownModels lists every Table 4 column name buildModel accepts.
+func KnownModels() []string {
+	return []string{"Prophet", "LSTM", "TCN", "Lumos5G", "GBDT", "RF",
+		"Prism5G", "Prism5G-NoState", "Prism5G-NoFusion", "Prism5G-GRU", "Prism5G-Unshared"}
+}
+
+// IsKnownModel reports whether buildModel accepts the name; callers should
+// check it before launching a run, since an unknown name panics only after
+// the dataset has already been built.
+func IsKnownModel(name string) bool {
+	for _, m := range KnownModels() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
 // buildModel constructs a predictor by Table 4 column name.
 func buildModel(name string, prob *Problem, cfg MLConfig) predictors.Predictor {
 	topts := cfg.trainOpts()

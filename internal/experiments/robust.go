@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"prism5g/internal/faults"
+	"prism5g/internal/predictors"
+	"prism5g/internal/ran"
+	"prism5g/internal/rng"
+	"prism5g/internal/sim"
+	"prism5g/internal/trace"
+)
+
+// RobustnessCell is one (severity, model) outcome of the sweep.
+type RobustnessCell struct {
+	Severity float64
+	Model    string
+	// RMSE is the pooled test RMSE (scaled units) on the degraded,
+	// repaired dataset.
+	RMSE float64
+	// DegradationPct is RMSE growth relative to the same model at
+	// severity 0 (0 for the clean row itself).
+	DegradationPct float64
+	// Injected counts the fault events the plan put into the campaign.
+	Injected int
+	// Repaired counts the fixes the ingest pipeline applied.
+	Repaired int
+	// SkippedWindows counts train/val windows rejected as non-finite.
+	SkippedWindows int
+	// Retries / Fallback surface the resilience counters of training.
+	Retries  int
+	Fallback bool
+}
+
+// RobustnessResult is the full sweep: RMSE degradation versus fault
+// severity for Prism5G and the baselines.
+type RobustnessResult struct {
+	Dataset    string
+	Severities []float64
+	Models     []string
+	Cells      []RobustnessCell
+}
+
+// Cell returns the cell for (severity, model), if present.
+func (r *RobustnessResult) Cell(severity float64, model string) (RobustnessCell, bool) {
+	for _, c := range r.Cells {
+		if c.Severity == severity && c.Model == model {
+			return c, true
+		}
+	}
+	return RobustnessCell{}, false
+}
+
+// Format renders the severity-by-model RMSE table with degradation
+// percentages.
+func (r *RobustnessResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-10s %-10s", "Severity", "Injected", "Repaired")
+	for _, m := range r.Models {
+		fmt.Fprintf(&b, " %18s", m)
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Severities {
+		var injected, repaired int
+		if c, ok := r.Cell(s, r.Models[0]); ok {
+			injected, repaired = c.Injected, c.Repaired
+		}
+		fmt.Fprintf(&b, "%-10.2f %-10d %-10d", s, injected, repaired)
+		for _, m := range r.Models {
+			c, ok := r.Cell(s, m)
+			if !ok {
+				fmt.Fprintf(&b, " %18s", "-")
+				continue
+			}
+			mark := ""
+			if c.Fallback {
+				mark = "*"
+			}
+			if s == 0 {
+				fmt.Fprintf(&b, " %16.4f%1s ", c.RMSE, mark)
+			} else {
+				fmt.Fprintf(&b, " %9.4f (%+5.1f%%)%s", c.RMSE, c.DegradationPct, mark)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(* = demoted to harmonic-mean fallback)\n")
+	return b.String()
+}
+
+// DefaultSeverities is the sweep grid: clean plus four degradation levels.
+func DefaultSeverities() []float64 { return []float64{0, 0.25, 0.5, 0.75, 1} }
+
+// robustnessModels picks the sweep's model set: Prism5G plus two strong
+// baselines, unless cfg.Models overrides.
+func robustnessModels(cfg MLConfig) []string {
+	if len(cfg.Models) > 0 {
+		return cfg.Models
+	}
+	return []string{"LSTM", "TCN", "Prism5G"}
+}
+
+// RobustnessSweep measures prediction-accuracy degradation under
+// increasing fault severity. For each severity it generates the SAME
+// campaign (same seed) degraded by PlanAtSeverity, runs the
+// validate-and-repair ingest, trains each model inside the resilient
+// wrapper and reports pooled test RMSE plus every resilience counter. At
+// severity 0 the sweep reduces to the clean Table 4 protocol, so the first
+// row doubles as the regression anchor.
+func RobustnessSweep(spec sim.SubDatasetSpec, severities []float64, cfg MLConfig) *RobustnessResult {
+	if len(severities) == 0 {
+		severities = DefaultSeverities()
+	}
+	res := &RobustnessResult{
+		Dataset:    spec.Name(),
+		Severities: severities,
+		Models:     robustnessModels(cfg),
+	}
+	clean := map[string]float64{}
+	for _, sev := range severities {
+		var plan *faults.FaultPlan
+		if sev > 0 {
+			p := faults.PlanAtSeverity(sev)
+			plan = &p
+		}
+		ds, faultRep := sim.BuildReport(spec, sim.BuildOpts{
+			Traces: cfg.Traces, SamplesPerTrace: cfg.SamplesPerTrace,
+			Seed: cfg.Seed, Modem: ran.ModemX70, Faults: plan,
+		})
+		_, repairRep := ds.ValidateAndRepair(trace.DefaultRepairOpts())
+
+		sc := &trace.Scaler{}
+		sc.Fit(ds.Traces)
+		ws := trace.Windows(ds, sc, trace.WindowOpts{History: 10, Horizon: 10, Stride: cfg.Stride})
+		train, val, test := trace.Split(ws, 0.5, 0.2, rng.New(cfg.Seed^0x5b1d))
+		prob := &Problem{Spec: spec, Dataset: ds, Scaler: sc, Windows: ws, Train: train, Val: val, Test: test}
+
+		validTrain, skipTrain := predictors.FilterValid(train)
+		validVal, skipVal := predictors.FilterValid(val)
+
+		for _, name := range res.Models {
+			m := predictors.NewResilient(buildModel(name, prob, cfg), 10)
+			rep := m.Train(validTrain, validVal)
+			rmse, _ := predictors.EvaluateSkipping(m, test)
+			cell := RobustnessCell{
+				Severity:       sev,
+				Model:          name,
+				RMSE:           rmse,
+				Injected:       faultRep.Total(),
+				Repaired:       repairRep.Total(),
+				SkippedWindows: skipTrain + skipVal,
+				Retries:        rep.Retries,
+				Fallback:       rep.Fallback || m.Demoted(),
+			}
+			if sev == 0 {
+				clean[name] = rmse
+			} else if base, ok := clean[name]; ok && base > 0 {
+				cell.DegradationPct = 100 * (rmse/base - 1)
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res
+}

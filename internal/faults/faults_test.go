@@ -1,0 +1,148 @@
+package faults_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"prism5g/internal/faults"
+	"prism5g/internal/mobility"
+	"prism5g/internal/sim"
+	"prism5g/internal/spectrum"
+	"prism5g/internal/trace"
+)
+
+func buildWith(t *testing.T, plan *faults.FaultPlan, seed uint64) []byte {
+	t.Helper()
+	spec := sim.SubDatasetSpec{Operator: spectrum.OpZ, Mobility: mobility.Driving, Gran: sim.Long}
+	ds := sim.Build(spec, sim.BuildOpts{Traces: 3, SamplesPerTrace: 120, Seed: seed, Faults: plan})
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	plan := faults.PlanAtSeverity(0.6)
+	a := buildWith(t, &plan, 7)
+	b := buildWith(t, &plan, 7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed + same FaultPlan must produce byte-identical datasets")
+	}
+	c := buildWith(t, &plan, 8)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds should produce different degraded datasets")
+	}
+}
+
+func TestCleanPlanIsNoop(t *testing.T) {
+	clean := buildWith(t, nil, 11)
+	zero := buildWith(t, &faults.FaultPlan{}, 11)
+	if !bytes.Equal(clean, zero) {
+		t.Fatal("zero-valued FaultPlan must not perturb the clean campaign")
+	}
+	s0 := faults.PlanAtSeverity(0)
+	if s0.Enabled() {
+		t.Fatal("severity 0 must be a disabled plan")
+	}
+}
+
+// Each injector draws from a private stream: toggling one fault type must
+// not move another's injection sites.
+func TestFaultIndependence(t *testing.T) {
+	spec := sim.SubDatasetSpec{Operator: spectrum.OpZ, Mobility: mobility.Driving, Gran: sim.Long}
+	build := func(plan *faults.FaultPlan) *trace.Dataset {
+		return sim.Build(spec, sim.BuildOpts{Traces: 2, SamplesPerTrace: 150, Seed: 5, Faults: plan})
+	}
+
+	jitterOnly := build(&faults.FaultPlan{Jitter: faults.TimeJitterFault{SigmaS: 0.05}})
+	nanOnly := build(&faults.FaultPlan{NaN: faults.NaNFieldFault{Prob: 0.08}})
+	both := build(&faults.FaultPlan{
+		Jitter: faults.TimeJitterFault{SigmaS: 0.05},
+		NaN:    faults.NaNFieldFault{Prob: 0.08},
+	})
+
+	for ti := 0; ti < 2; ti++ {
+		// Jitter positions identical with and without the NaN injector.
+		j, b := jitterOnly.Traces[ti].Samples, both.Traces[ti].Samples
+		if len(j) != len(b) {
+			t.Fatalf("trace %d: sample counts differ %d vs %d", ti, len(j), len(b))
+		}
+		for i := range j {
+			if j[i].T != b[i].T {
+				t.Fatalf("trace %d sample %d: jitter draw changed when NaN injector enabled (%v vs %v)", ti, i, j[i].T, b[i].T)
+			}
+		}
+		// NaN positions identical with and without the jitter injector.
+		n := nanOnly.Traces[ti].Samples
+		for i := range n {
+			for c := range n[i].CCs {
+				for f := range n[i].CCs[c].Vec {
+					if math.IsNaN(n[i].CCs[c].Vec[f]) != math.IsNaN(b[i].CCs[c].Vec[f]) {
+						t.Fatalf("trace %d sample %d cc %d field %d: NaN site moved when jitter enabled", ti, i, c, f)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRLFOutageSemantics(t *testing.T) {
+	spec := sim.SubDatasetSpec{Operator: spectrum.OpZ, Mobility: mobility.Driving, Gran: sim.Long}
+	plan := &faults.FaultPlan{RLF: faults.RLFFault{RatePerMin: 6, OutageS: 3}}
+	ds := sim.Build(spec, sim.BuildOpts{Traces: 3, SamplesPerTrace: 200, Seed: 3, Faults: plan})
+	zeroSamples := 0
+	for _, tr := range ds.Traces {
+		for _, s := range tr.Samples {
+			if s.AggTput == 0 && s.NumActiveCCs == 0 {
+				zeroSamples++
+				for c := range s.CCs {
+					if s.CCs[c].Present && !s.CCs[c].IsPCell {
+						t.Fatal("SCell slot still present during RLF outage")
+					}
+					if s.CCs[c].Vec[0] != 0 { // FActive
+						t.Fatal("carrier active during RLF outage")
+					}
+				}
+			}
+		}
+	}
+	if zeroSamples == 0 {
+		t.Fatal("RLF plan at 6/min over 600 samples injected no outage")
+	}
+}
+
+func TestDropoutCreatesGaps(t *testing.T) {
+	spec := sim.SubDatasetSpec{Operator: spectrum.OpZ, Mobility: mobility.Walking, Gran: sim.Long}
+	plan := &faults.FaultPlan{Dropout: faults.DropoutFault{RatePerMin: 6, MinS: 2, MaxS: 5}}
+	clean := sim.Build(spec, sim.BuildOpts{Traces: 2, SamplesPerTrace: 150, Seed: 9})
+	gappy := sim.Build(spec, sim.BuildOpts{Traces: 2, SamplesPerTrace: 150, Seed: 9, Faults: plan})
+	if gappy.NumSamples() >= clean.NumSamples() {
+		t.Fatalf("dropout removed nothing: %d vs %d samples", gappy.NumSamples(), clean.NumSamples())
+	}
+	for ti, tr := range gappy.Traces {
+		if len(tr.Samples) == 0 {
+			t.Fatalf("trace %d emptied entirely", ti)
+		}
+		for i := 1; i < len(tr.Samples); i++ {
+			if tr.Samples[i].T <= tr.Samples[i-1].T {
+				t.Fatalf("trace %d: dropout broke timestamp order", ti)
+			}
+		}
+	}
+}
+
+func TestPlanAtSeverityScales(t *testing.T) {
+	lo, hi := faults.PlanAtSeverity(0.2), faults.PlanAtSeverity(1)
+	if !lo.Enabled() || !hi.Enabled() {
+		t.Fatal("nonzero severities must enable the plan")
+	}
+	if lo.RLF.RatePerMin >= hi.RLF.RatePerMin || lo.NaN.Prob >= hi.NaN.Prob {
+		t.Fatal("severity must scale fault rates monotonically")
+	}
+	over := faults.PlanAtSeverity(3)
+	if over.RLF.RatePerMin != hi.RLF.RatePerMin {
+		t.Fatal("severity must clamp at 1")
+	}
+}

@@ -35,23 +35,99 @@ type TrainReport struct {
 	TrainRMSE float64
 	ValRMSE   float64
 	Duration  time.Duration
+	// Retries counts divergence recoveries: the loop restored the best
+	// (or initial) weights and restarted Adam at a backed-off LR.
+	Retries int
+	// Diverged reports that the final attempt still ended in a
+	// non-finite or exploding loss (the returned weights are the best
+	// seen, which may be the initialization).
+	Diverged bool
+	// Fallback reports that a resilient wrapper swapped in its fallback
+	// predictor (see Resilient).
+	Fallback bool
 }
 
 // String implements fmt.Stringer.
 func (r TrainReport) String() string {
-	return fmt.Sprintf("epochs=%d train=%.4f val=%.4f in %v", r.Epochs, r.TrainRMSE, r.ValRMSE, r.Duration)
+	s := fmt.Sprintf("epochs=%d train=%.4f val=%.4f in %v", r.Epochs, r.TrainRMSE, r.ValRMSE, r.Duration)
+	if r.Retries > 0 {
+		s += fmt.Sprintf(" retries=%d", r.Retries)
+	}
+	if r.Diverged {
+		s += " DIVERGED"
+	}
+	if r.Fallback {
+		s += " FALLBACK"
+	}
+	return s
 }
 
+// ValidWindow reports whether a window is usable for training or scoring:
+// all inputs and targets finite. Degraded traces that bypassed repair
+// produce NaN-poisoned windows; one such window would corrupt every
+// gradient (training) or the pooled RMSE (evaluation).
+func ValidWindow(w trace.Window) bool {
+	for _, v := range w.AggHist {
+		if !finite(v) {
+			return false
+		}
+	}
+	for _, v := range w.Y {
+		if !finite(v) {
+			return false
+		}
+	}
+	for c := range w.X {
+		for t := range w.X[c] {
+			for _, v := range w.X[c][t] {
+				if !finite(v) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// FilterValid splits windows into usable ones and a count of rejects.
+func FilterValid(ws []trace.Window) (valid []trace.Window, skipped int) {
+	valid = ws[:0:0]
+	for _, w := range ws {
+		if ValidWindow(w) {
+			valid = append(valid, w)
+		} else {
+			skipped++
+		}
+	}
+	return valid, skipped
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
 // Evaluate computes the RMSE of a predictor over windows, pooling every
-// horizon step (the paper's Table 4 metric, in scaled units).
+// horizon step (the paper's Table 4 metric, in scaled units). Windows with
+// non-finite inputs or targets are skipped rather than letting one
+// corrupted sample turn the whole metric into NaN; use EvaluateSkipping to
+// learn how many were dropped.
 func Evaluate(p Predictor, ws []trace.Window) float64 {
+	rmse, _ := EvaluateSkipping(p, ws)
+	return rmse
+}
+
+// EvaluateSkipping is Evaluate returning the count of skipped invalid
+// windows alongside the RMSE over the valid ones.
+func EvaluateSkipping(p Predictor, ws []trace.Window) (rmse float64, skipped int) {
 	var preds, truths []float64
 	for _, w := range ws {
+		if !ValidWindow(w) {
+			skipped++
+			continue
+		}
 		y := p.Predict(w)
 		preds = append(preds, y...)
 		truths = append(truths, w.Y...)
 	}
-	return stats.RMSE(preds, truths)
+	return stats.RMSE(preds, truths), skipped
 }
 
 // AggFeatureDim is the per-step feature dimension the CA-blind baselines
@@ -102,12 +178,23 @@ type TrainOpts struct {
 	LR       float64
 	Patience int // early-stop after this many non-improving epochs
 	Seed     uint64
+	// MaxRetries bounds divergence recoveries: on a non-finite or
+	// exploding validation loss the loop rolls back to the best (or
+	// initial) weights, halves the LR via LRBackoff and restarts the
+	// optimizer. 0 means DefaultTrainOpts' 2; negative disables recovery.
+	MaxRetries int
+	// LRBackoff multiplies the learning rate on each retry (0 = 0.5).
+	LRBackoff float64
+	// DivergeFactor flags an epoch as diverged when its loss exceeds
+	// this multiple of the best seen so far (0 = 50).
+	DivergeFactor float64
 }
 
 // DefaultTrainOpts mirrors the paper's setup (Adam lr 0.01, batch 128, max
-// 200 epochs) with early stopping.
+// 200 epochs) with early stopping, plus bounded divergence recovery.
 func DefaultTrainOpts() TrainOpts {
-	return TrainOpts{Epochs: 200, Batch: 128, LR: 0.01, Patience: 12, Seed: 1}
+	return TrainOpts{Epochs: 200, Batch: 128, LR: 0.01, Patience: 12, Seed: 1,
+		MaxRetries: 2, LRBackoff: 0.5, DivergeFactor: 50}
 }
 
 // SeqModel is the minimal contract the shared training loop needs. It is
@@ -123,17 +210,36 @@ type SeqModel interface {
 // TrainLoop runs mini-batch Adam training with early stopping on val RMSE,
 // restoring the best-seen weights (the paper reports the model selected on
 // validation performance).
+//
+// The loop is divergence-hardened: windows with non-finite inputs or
+// targets are filtered up front, and when an epoch ends in a NaN/Inf or
+// exploding loss the loop rolls back to the best (or initial) weights,
+// restarts Adam at LRBackoff times the rate and tries again, at most
+// MaxRetries times. Degraded field data makes both failure modes routine
+// rather than exceptional.
 func TrainLoop(m SeqModel, train, val []trace.Window, opts TrainOpts) TrainReport {
 	if opts.Epochs == 0 {
 		opts = DefaultTrainOpts()
 	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 2
+	}
+	if opts.LRBackoff <= 0 || opts.LRBackoff >= 1 {
+		opts.LRBackoff = 0.5
+	}
+	if opts.DivergeFactor <= 1 {
+		opts.DivergeFactor = 50
+	}
 	start := time.Now()
+	train, _ = FilterValid(train)
+	val, _ = FilterValid(val)
 	src := rng.New(opts.Seed ^ 0xfeed)
-	opt := nn.NewAdam(m.Params(), opts.LR)
+	initW := snapshot(m.Params())
 	bestVal := math.Inf(1)
 	var bestW [][]float64
-	badEpochs := 0
 	epochs := 0
+	retries := 0
+	diverged := false
 	evalSet := func(ws []trace.Window) float64 {
 		var se float64
 		n := 0
@@ -154,43 +260,71 @@ func TrainLoop(m SeqModel, train, val []trace.Window, opts TrainOpts) TrainRepor
 	for i := range order {
 		order[i] = i
 	}
-	for ep := 0; ep < opts.Epochs; ep++ {
-		epochs = ep + 1
-		src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		for bi := 0; bi < len(order); bi += opts.Batch {
-			end := bi + opts.Batch
-			if end > len(order) {
-				end = len(order)
+	lr := opts.LR
+	for attempt := 0; ; attempt++ {
+		opt := nn.NewAdam(m.Params(), lr)
+		badEpochs := 0
+		diverged = false
+		for ep := 0; ep < opts.Epochs; ep++ {
+			epochs++
+			src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			for bi := 0; bi < len(order); bi += opts.Batch {
+				end := bi + opts.Batch
+				if end > len(order) {
+					end = len(order)
+				}
+				scale := 1.0 / float64(end-bi)
+				for _, wi := range order[bi:end] {
+					m.ForwardBackward(train[wi], scale)
+				}
+				opt.Step()
 			}
-			scale := 1.0 / float64(end-bi)
-			for _, wi := range order[bi:end] {
-				m.ForwardBackward(train[wi], scale)
+			v := evalSet(val)
+			if math.IsNaN(v) && len(train) > 0 {
+				v = evalSet(train)
 			}
-			opt.Step()
-		}
-		v := evalSet(val)
-		if math.IsNaN(v) {
-			v = evalSet(train)
-		}
-		if v < bestVal-1e-6 {
-			bestVal = v
-			bestW = snapshot(m.Params())
-			badEpochs = 0
-		} else {
-			badEpochs++
-			if badEpochs >= opts.Patience {
+			if len(train) > 0 && (!finite(v) || (finite(bestVal) && v > opts.DivergeFactor*bestVal)) {
+				diverged = true
 				break
 			}
+			if v < bestVal-1e-6 {
+				bestVal = v
+				bestW = snapshot(m.Params())
+				badEpochs = 0
+			} else {
+				badEpochs++
+				if badEpochs >= opts.Patience {
+					break
+				}
+			}
 		}
+		if !diverged || retries >= opts.MaxRetries || opts.MaxRetries < 0 {
+			break
+		}
+		// Roll back to the last known-good weights (the initialization if
+		// training never produced a finite loss) and back off the LR.
+		retries++
+		if bestW != nil {
+			restore(m.Params(), bestW)
+		} else {
+			restore(m.Params(), initW)
+		}
+		lr *= opts.LRBackoff
 	}
 	if bestW != nil {
 		restore(m.Params(), bestW)
+	} else if diverged {
+		// Never saw a finite loss: the initialization is still the best
+		// known state, and at least its forward pass is finite.
+		restore(m.Params(), initW)
 	}
 	return TrainReport{
 		Epochs:    epochs,
 		TrainRMSE: evalSet(train),
 		ValRMSE:   bestVal,
 		Duration:  time.Since(start),
+		Retries:   retries,
+		Diverged:  diverged,
 	}
 }
 

@@ -1,0 +1,94 @@
+package predictors
+
+import (
+	"fmt"
+
+	"prism5g/internal/trace"
+)
+
+// Resilient wraps a predictor with crash containment: a panic during Train
+// demotes the wrapper to its fallback (MPC's harmonic-mean estimator — the
+// weakest predictor in the study, but one that cannot fail), a panic
+// during Predict answers from the fallback for that window, and non-finite
+// prediction values are replaced by the fallback's. The QoE applications
+// built on the predictor (adaptive streaming, MPC) need a forecast every
+// step; a dead predictor mid-session is strictly worse than a crude one.
+type Resilient struct {
+	inner    Predictor
+	fallback Predictor
+	demoted  bool
+	// TrainPanics / PredictPanics / Sanitized count the interventions.
+	TrainPanics   int
+	PredictPanics int
+	Sanitized     int
+}
+
+// NewResilient wraps p; horizon sizes the harmonic-mean fallback.
+func NewResilient(p Predictor, horizon int) *Resilient {
+	if horizon <= 0 {
+		horizon = 10
+	}
+	return &Resilient{inner: p, fallback: &HarmonicMean{Horizon: horizon}}
+}
+
+// Name implements Predictor, passing through the wrapped name so result
+// tables stay comparable.
+func (r *Resilient) Name() string { return r.inner.Name() }
+
+// Demoted reports whether a training crash demoted the wrapper to its
+// fallback predictor.
+func (r *Resilient) Demoted() bool { return r.demoted }
+
+// Train implements Predictor. A panic in the wrapped predictor is
+// recovered and the wrapper demotes itself to the fallback.
+func (r *Resilient) Train(train, val []trace.Window) (rep TrainReport) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.TrainPanics++
+			r.demoted = true
+			rep = r.fallback.Train(train, val)
+			rep.Fallback = true
+		}
+	}()
+	rep = r.inner.Train(train, val)
+	return rep
+}
+
+// Predict implements Predictor. Panics and non-finite values degrade to
+// the fallback's forecast instead of propagating.
+func (r *Resilient) Predict(w trace.Window) (y []float64) {
+	if r.demoted {
+		return r.fallback.Predict(w)
+	}
+	panicked := false
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				r.PredictPanics++
+				panicked = true
+			}
+		}()
+		y = r.inner.Predict(w)
+	}()
+	if panicked || y == nil {
+		return r.fallback.Predict(w)
+	}
+	var fb []float64
+	for i := range y {
+		if finite(y[i]) {
+			continue
+		}
+		if fb == nil {
+			fb = r.fallback.Predict(w)
+		}
+		y[i] = fb[i]
+		r.Sanitized++
+	}
+	return y
+}
+
+// String summarizes the interventions.
+func (r *Resilient) String() string {
+	return fmt.Sprintf("resilient(%s): trainPanics=%d predictPanics=%d sanitized=%d demoted=%v",
+		r.inner.Name(), r.TrainPanics, r.PredictPanics, r.Sanitized, r.demoted)
+}

@@ -25,6 +25,9 @@ const (
 	EvPCellSwitch
 	// EvRadioLinkFailure drops the whole connection.
 	EvRadioLinkFailure
+	// EvReestablish marks the RRC re-establishment completing after a
+	// radio link failure (only emitted when ReestablishDelayS > 0).
+	EvReestablish
 )
 
 // String implements fmt.Stringer.
@@ -38,6 +41,8 @@ func (e EventType) String() string {
 		return "scell-activate"
 	case EvPCellSwitch:
 		return "pcell-switch"
+	case EvReestablish:
+		return "reestablish"
 	default:
 		return "rlf"
 	}
@@ -104,6 +109,11 @@ type Config struct {
 	// MidBandPreferenceDB biases PCell choice toward capacity layers
 	// when their signal is adequate.
 	MidBandPreferenceDB float64
+	// ReestablishDelayS is the RRC re-establishment outage after a radio
+	// link failure: the UE stays disconnected for this long before it may
+	// reattach. Zero (the default) keeps the historical instant-reselect
+	// behaviour.
+	ReestablishDelayS float64
 }
 
 // DefaultConfig returns the engine configuration used across the study.
@@ -151,6 +161,10 @@ type Engine struct {
 	hoStreak      int
 	eventBacklog  []Event
 	connectedOnce bool
+	// rlfBarUntil bars PCell reselection until RRC re-establishment
+	// completes after a radio link failure.
+	rlfBarUntil float64
+	reattaching bool
 }
 
 // NewEngine creates a CA engine for the UE on the network.
@@ -382,10 +396,15 @@ func (e *Engine) evaluate(p mobility.Point, indoor bool) {
 	if e.pcell != nil {
 		curRS := e.measure(e.pcell.Cell, p, indoor)
 		if curRS.RSRPdBm < e.Cfg.PCellMinRSRP-4 {
-			// Radio link failure: drop everything, reselect below.
+			// Radio link failure: drop everything, reselect below once
+			// re-establishment completes.
 			e.emit(EvRadioLinkFailure, e.pcell.Cell)
 			e.pcell = nil
 			e.scells = nil
+			if e.Cfg.ReestablishDelayS > 0 {
+				e.rlfBarUntil = e.now + e.Cfg.ReestablishDelayS
+				e.reattaching = true
+			}
 		} else if best != nil && best.cell != e.pcell.Cell {
 			curScore := e.pcellScore(e.pcell.Cell, curRS)
 			hyst := e.Cfg.HandoverHysteresisDB
@@ -416,9 +435,16 @@ func (e *Engine) evaluate(p mobility.Point, indoor bool) {
 		if best == nil {
 			return // out of coverage
 		}
+		if e.now < e.rlfBarUntil {
+			return // still in RRC re-establishment after RLF
+		}
 		e.pcell = &ServingCC{
 			Cell: best.cell, Link: e.links[best.cell.PCI], IsPCell: true,
 			ConfiguredAt: e.now, ActiveAt: e.now,
+		}
+		if e.reattaching {
+			e.emit(EvReestablish, best.cell)
+			e.reattaching = false
 		}
 		e.emit(EvPCellSwitch, best.cell)
 		e.connectedOnce = true

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"prism5g/internal/faults"
 	"prism5g/internal/mobility"
 	"prism5g/internal/ran"
 	"prism5g/internal/rng"
@@ -50,6 +51,15 @@ type RunConfig struct {
 	// Net optionally reuses an existing network (so multiple runs see
 	// the same deployment); nil builds one from the seed.
 	Net *ran.Network
+	// Faults optionally degrades the generated trace (radio link
+	// failures, handover/activation failures, sensor corruption, log
+	// gaps). Nil generates a clean trace; the same seed with and without
+	// a plan yields the same underlying campaign, degraded or not.
+	Faults *faults.FaultPlan
+	// ReestablishDelayS sets the engine's RRC re-establishment outage
+	// after an in-simulation radio link failure (0 = instant reselect,
+	// the historical behaviour).
+	ReestablishDelayS float64
 }
 
 func (c *RunConfig) defaults() {
@@ -76,6 +86,8 @@ type RunStats struct {
 	PeakAggMbps   float64
 	MeanAggMbps   float64
 	CCChangeCount int
+	// Faults reports what the run's fault plan injected (zero if clean).
+	Faults faults.Report
 }
 
 // eventHold is how long (seconds) an RRC event stays visible in the event
@@ -92,7 +104,9 @@ func Run(cfg RunConfig) (trace.Trace, RunStats) {
 		net = ran.NewNetwork(cfg.Operator, cfg.Scenario, src)
 	}
 	ue := ran.NewUE(cfg.Modem)
-	eng := ran.NewEngine(net, ue, ran.DefaultConfig(cfg.Tech), src)
+	rcfg := ran.DefaultConfig(cfg.Tech)
+	rcfg.ReestablishDelayS = cfg.ReestablishDelayS
+	eng := ran.NewEngine(net, ue, rcfg, src)
 	if len(cfg.BandLock) > 0 {
 		eng.LockBands(cfg.BandLock...)
 	}
@@ -218,8 +232,16 @@ func Run(cfg RunConfig) (trace.Trace, RunStats) {
 	if steps > 0 {
 		stats.MeanAggMbps = aggSum / float64(steps)
 	}
+	// Degrade the clean trace per the fault plan (no-op when nil). The
+	// injector derives all randomness from the run seed, so a campaign is
+	// reproducible clean or degraded from the same seed.
+	stats.Faults = cfg.Faults.Apply(&tr, cfg.Seed^faultSeedSalt)
 	return tr, stats
 }
+
+// faultSeedSalt separates the fault layer's rng domain from the
+// simulation's own seed usage.
+const faultSeedSalt = 0xfa_17_5e_ed
 
 // slotTable assigns serving CCs to stable trace slots: the PCell always
 // occupies slot 0; SCells take the lowest free slot and keep it while
@@ -366,6 +388,9 @@ type BuildOpts struct {
 	Seed uint64
 	// Modem is the UE used (paper's ML data comes from 3-4CC phones).
 	Modem ran.Modem
+	// Faults optionally degrades every generated trace; nil builds the
+	// historical clean dataset.
+	Faults *faults.FaultPlan
 }
 
 // DefaultBuildOpts mirrors Table 11: 10 traces, ~450 samples each.
@@ -377,8 +402,18 @@ func DefaultBuildOpts(seed uint64) BuildOpts {
 // suburban scenarios for driving, and urban/indoor for walking, like the
 // paper's scenario mix.
 func Build(spec SubDatasetSpec, opts BuildOpts) *trace.Dataset {
+	d, _ := BuildReport(spec, opts)
+	return d
+}
+
+// BuildReport is Build also returning the aggregate fault-injection report
+// (zero when BuildOpts.Faults is nil).
+func BuildReport(spec SubDatasetSpec, opts BuildOpts) (*trace.Dataset, faults.Report) {
+	var report faults.Report
 	if opts.Traces == 0 {
+		plan := opts.Faults
 		opts = DefaultBuildOpts(opts.Seed)
+		opts.Faults = plan
 	}
 	d := &trace.Dataset{Name: spec.Name(), StepS: spec.Gran.StepS()}
 	seedSrc := rng.New(opts.Seed ^ uint64(len(spec.Name()))*0x9e37)
@@ -403,7 +438,7 @@ func Build(spec SubDatasetSpec, opts BuildOpts) *trace.Dataset {
 			// extracted from a continuous drive log.
 			dur = math.Max(45, 3*dur)
 		}
-		tr, _ := Run(RunConfig{
+		tr, stats := Run(RunConfig{
 			Operator:  spec.Operator,
 			Scenario:  sc,
 			Mobility:  spec.Mobility,
@@ -414,13 +449,15 @@ func Build(spec SubDatasetSpec, opts BuildOpts) *trace.Dataset {
 			Seed:      seedSrc.Uint64(),
 			Route:     i / 2,
 			Run:       i % 2,
+			Faults:    opts.Faults,
 		})
 		if spec.Gran == Short {
 			tr = CutAroundTransition(tr, opts.SamplesPerTrace)
 		}
+		report.Add(stats.Faults)
 		d.Traces = append(d.Traces, tr)
 	}
-	return d
+	return d, report
 }
 
 // CutAroundTransition returns the n-sample segment of tr containing the

@@ -3,9 +3,12 @@ package trace
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
+	"strings"
 )
 
 // WriteCSV streams a trace as CSV: one row per sample with aggregate fields
@@ -13,19 +16,10 @@ import (
 // published artifact exports from XCAL logs.
 func (t *Trace) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	header := []string{"t", "agg_tput_mbps", "num_active_ccs"}
-	for c := 0; c < MaxCC; c++ {
-		header = append(header,
-			fmt.Sprintf("cc%d_channel", c),
-			fmt.Sprintf("cc%d_pcell", c))
-		for f := 0; f < NumCCFeatures; f++ {
-			header = append(header, fmt.Sprintf("cc%d_%s", c, CCFeatureNames[f]))
-		}
-	}
-	if err := cw.Write(header); err != nil {
+	if err := cw.Write(csvHeader()); err != nil {
 		return err
 	}
-	row := make([]string, 0, len(header))
+	row := make([]string, 0, len(csvHeader()))
 	for _, s := range t.Samples {
 		row = row[:0]
 		row = append(row,
@@ -47,17 +41,169 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// WriteJSON encodes the dataset as JSON.
+func csvHeader() []string {
+	header := []string{"t", "agg_tput_mbps", "num_active_ccs"}
+	for c := 0; c < MaxCC; c++ {
+		header = append(header,
+			fmt.Sprintf("cc%d_channel", c),
+			fmt.Sprintf("cc%d_pcell", c))
+		for f := 0; f < NumCCFeatures; f++ {
+			header = append(header, fmt.Sprintf("cc%d_%s", c, CCFeatureNames[f]))
+		}
+	}
+	return header
+}
+
+// ReadCSV parses a trace previously written by WriteCSV (or an external
+// XCAL-style export with the same layout). Structural damage — a missing
+// or alien header, truncated rows, unparseable numerics — surfaces as a
+// typed *ValidationError; it never panics. Value-level corruption (NaN
+// fields, out-of-range masks) is preserved in the returned trace for
+// Validate/Repair to handle, mirroring how a real log is ingested first
+// and sanitized second. StepS is inferred from the median timestamp delta.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // row widths are checked by hand for typed errors
+	want := csvHeader()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, &ValidationError{Kind: ErrShape, TraceIdx: -1, SampleIdx: -1,
+			Msg: fmt.Sprintf("read header: %v", err)}
+	}
+	if len(header) != len(want) || header[0] != want[0] {
+		return nil, &ValidationError{Kind: ErrShape, TraceIdx: -1, SampleIdx: -1,
+			Msg: fmt.Sprintf("unexpected header: %d columns (want %d)", len(header), len(want))}
+	}
+	tr := &Trace{}
+	for i := 0; ; i++ {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, &ValidationError{Kind: ErrShape, TraceIdx: -1, SampleIdx: i,
+				Msg: fmt.Sprintf("read row: %v", err)}
+		}
+		if len(row) != len(want) {
+			return nil, &ValidationError{Kind: ErrShape, TraceIdx: -1, SampleIdx: i,
+				Msg: fmt.Sprintf("truncated row: %d fields (want %d)", len(row), len(want))}
+		}
+		s, err := parseCSVRow(row, i)
+		if err != nil {
+			return nil, err
+		}
+		tr.Samples = append(tr.Samples, s)
+	}
+	tr.StepS = inferStep(tr.Samples)
+	return tr, nil
+}
+
+func parseCSVRow(row []string, idx int) (Sample, error) {
+	var s Sample
+	badField := func(name, val string, err error) error {
+		return &ValidationError{Kind: ErrShape, TraceIdx: -1, SampleIdx: idx,
+			Field: name, Msg: fmt.Sprintf("parse %q: %v", val, err)}
+	}
+	var err error
+	if s.T, err = strconv.ParseFloat(row[0], 64); err != nil {
+		return s, badField("t", row[0], err)
+	}
+	if s.AggTput, err = strconv.ParseFloat(row[1], 64); err != nil {
+		return s, badField("agg_tput_mbps", row[1], err)
+	}
+	if s.NumActiveCCs, err = strconv.Atoi(row[2]); err != nil {
+		return s, badField("num_active_ccs", row[2], err)
+	}
+	col := 3
+	for c := 0; c < MaxCC; c++ {
+		cc := &s.CCs[c]
+		cc.ChannelID = row[col]
+		if i := strings.IndexByte(cc.ChannelID, '^'); i > 0 {
+			cc.BandName = cc.ChannelID[:i]
+		}
+		col++
+		if cc.IsPCell, err = strconv.ParseBool(row[col]); err != nil {
+			return s, badField(fmt.Sprintf("cc%d_pcell", c), row[col], err)
+		}
+		col++
+		for f := 0; f < NumCCFeatures; f++ {
+			if cc.Vec[f], err = strconv.ParseFloat(row[col], 64); err != nil {
+				return s, badField(fmt.Sprintf("cc%d_%s", c, CCFeatureNames[f]), row[col], err)
+			}
+			col++
+		}
+		cc.Present = cc.ChannelID != ""
+	}
+	return s, nil
+}
+
+// inferStep estimates the sampling interval as the median positive
+// timestamp delta.
+func inferStep(samples []Sample) float64 {
+	var deltas []float64
+	for i := 1; i < len(samples); i++ {
+		if d := samples[i].T - samples[i-1].T; finite(d) && d > 0 {
+			deltas = append(deltas, d)
+		}
+	}
+	if len(deltas) == 0 {
+		return 0
+	}
+	sort.Float64s(deltas)
+	return deltas[len(deltas)/2]
+}
+
+// WriteJSON encodes the dataset as JSON. Non-finite feature values encode
+// as null (see CC.MarshalJSON), so degraded traces serialize losslessly.
 func (d *Dataset) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(d)
 }
 
-// ReadJSON decodes a dataset previously written by WriteJSON.
+// ReadJSON decodes a dataset previously written by WriteJSON, then
+// validates and repairs it with the default hold-last policy: corrupted
+// fields are imputed, timestamps re-monotonized and logging gaps refilled
+// instead of silently poisoning the scaler and the training windows.
+// Decode failures return a wrapped error; use ReadJSONReport to inspect
+// what validation found and repair fixed.
 func ReadJSON(r io.Reader) (*Dataset, error) {
+	d, _, _, err := ReadJSONReport(r, DefaultRepairOpts())
+	return d, err
+}
+
+// ReadJSONRaw decodes without validation or repair — the historical
+// behaviour, for callers that want the bytes as stored.
+func ReadJSONRaw(r io.Reader) (*Dataset, error) {
 	var d Dataset
 	if err := json.NewDecoder(r).Decode(&d); err != nil {
 		return nil, fmt.Errorf("trace: decode dataset: %w", err)
 	}
 	return &d, nil
+}
+
+// ReadJSONReport decodes, validates and repairs with the given options,
+// returning both the as-ingested validation findings and the applied
+// fixes.
+func ReadJSONReport(r io.Reader, opts RepairOpts) (*Dataset, *ValidationReport, RepairReport, error) {
+	d, err := ReadJSONRaw(r)
+	if err != nil {
+		return nil, nil, RepairReport{}, err
+	}
+	// A dataset missing its step cannot be gap-checked; infer it from the
+	// traces before validating.
+	if d.StepS <= 0 {
+		for i := range d.Traces {
+			if s := inferStep(d.Traces[i].Samples); s > 0 {
+				d.StepS = s
+				break
+			}
+		}
+	}
+	for i := range d.Traces {
+		if d.Traces[i].StepS <= 0 {
+			d.Traces[i].StepS = d.StepS
+		}
+	}
+	vrep, rrep := d.ValidateAndRepair(opts)
+	return d, vrep, rrep, nil
 }

@@ -5,6 +5,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -54,6 +55,47 @@ type CC struct {
 	IsPCell bool
 	// Vec is the numeric feature vector, indexed by the F* constants.
 	Vec [NumCCFeatures]float64
+}
+
+// ccJSON mirrors CC with the feature vector as nullable floats so that
+// corrupted (NaN/Inf) sensor readings survive a JSON round-trip: non-finite
+// values encode as null and nulls decode back to NaN. encoding/json would
+// otherwise refuse to serialize a degraded trace at all.
+type ccJSON struct {
+	Present   bool
+	BandName  string
+	ChannelID string
+	IsPCell   bool
+	Vec       [NumCCFeatures]*float64
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c CC) MarshalJSON() ([]byte, error) {
+	out := ccJSON{Present: c.Present, BandName: c.BandName, ChannelID: c.ChannelID, IsPCell: c.IsPCell}
+	for i := range c.Vec {
+		v := c.Vec[i]
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			out.Vec[i] = &c.Vec[i]
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *CC) UnmarshalJSON(b []byte) error {
+	var in ccJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	c.Present, c.BandName, c.ChannelID, c.IsPCell = in.Present, in.BandName, in.ChannelID, in.IsPCell
+	for i := range in.Vec {
+		if in.Vec[i] == nil {
+			c.Vec[i] = math.NaN()
+		} else {
+			c.Vec[i] = *in.Vec[i]
+		}
+	}
+	return nil
 }
 
 // Sample is one time step of a trace.
@@ -159,11 +201,16 @@ func (sc *Scaler) Fit(traces []Trace) {
 	sc.TputMin, sc.TputMax = math.Inf(1), math.Inf(-1)
 	for _, tr := range traces {
 		for _, s := range tr.Samples {
-			if s.AggTput < sc.TputMin {
-				sc.TputMin = s.AggTput
-			}
-			if s.AggTput > sc.TputMax {
-				sc.TputMax = s.AggTput
+			// Non-finite samples (corrupted sensor reads) must not poison
+			// the ranges: an Inf min/max would scale every feature to
+			// 0 or NaN.
+			if finite(s.AggTput) {
+				if s.AggTput < sc.TputMin {
+					sc.TputMin = s.AggTput
+				}
+				if s.AggTput > sc.TputMax {
+					sc.TputMax = s.AggTput
+				}
 			}
 			for _, cc := range s.CCs {
 				if !cc.Present {
@@ -171,6 +218,9 @@ func (sc *Scaler) Fit(traces []Trace) {
 				}
 				for f := 0; f < NumCCFeatures; f++ {
 					v := cc.Vec[f]
+					if !finite(v) {
+						continue
+					}
 					if v < sc.FeatMin[f] {
 						sc.FeatMin[f] = v
 					}

@@ -28,6 +28,9 @@
 package prism5g
 
 import (
+	"fmt"
+	"strings"
+
 	"prism5g/internal/core"
 	"prism5g/internal/ml"
 	"prism5g/internal/mobility"
@@ -145,27 +148,38 @@ func NewPrism5G(b *Bundle, cfg ModelConfig) Predictor {
 
 // NewBaseline builds one of the paper's baselines by name: "Prophet",
 // "LSTM", "TCN", "Lumos5G", "GBDT", "RF" or "HarmonicMean". Unknown names
-// return nil.
+// return nil; use NewBaselineE to get the error instead of a nil that
+// detonates at first use.
 func NewBaseline(name string, b *Bundle, cfg ModelConfig) Predictor {
+	p, err := NewBaselineE(name, b, cfg)
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+// NewBaselineE is NewBaseline with an explicit error for unknown names.
+func NewBaselineE(name string, b *Bundle, cfg ModelConfig) (Predictor, error) {
 	hidden, topts := cfg.fill()
 	horizon := trace.DefaultWindowOpts().Horizon
 	switch name {
 	case "Prophet":
-		return predictors.NewProphetPredictor(b.Dataset, ml.DefaultProphetOpts())
+		return predictors.NewProphetPredictor(b.Dataset, ml.DefaultProphetOpts()), nil
 	case "LSTM":
-		return predictors.NewLSTMPredictor(hidden, horizon, topts)
+		return predictors.NewLSTMPredictor(hidden, horizon, topts), nil
 	case "TCN":
-		return predictors.NewTCNPredictor(hidden, horizon, topts)
+		return predictors.NewTCNPredictor(hidden, horizon, topts), nil
 	case "Lumos5G":
-		return predictors.NewLumos5G(hidden, horizon, topts)
+		return predictors.NewLumos5G(hidden, horizon, topts), nil
 	case "GBDT":
-		return predictors.NewTreePredictor(predictors.KindGBDT, horizon, topts.Seed)
+		return predictors.NewTreePredictor(predictors.KindGBDT, horizon, topts.Seed), nil
 	case "RF":
-		return predictors.NewTreePredictor(predictors.KindRF, horizon, topts.Seed)
+		return predictors.NewTreePredictor(predictors.KindRF, horizon, topts.Seed), nil
 	case "HarmonicMean":
-		return &predictors.HarmonicMean{Horizon: horizon}
+		return &predictors.HarmonicMean{Horizon: horizon}, nil
 	default:
-		return nil
+		return nil, fmt.Errorf("prism5g: unknown baseline %q (known: %s)",
+			name, strings.Join(append(BaselineNames(), "HarmonicMean"), ", "))
 	}
 }
 
