@@ -16,6 +16,9 @@ import (
 	"testing"
 
 	"prism5g/internal/experiments"
+	"prism5g/internal/mobility"
+	"prism5g/internal/ran"
+	"prism5g/internal/sim"
 	"prism5g/internal/spectrum"
 )
 
@@ -254,5 +257,39 @@ func BenchmarkTable9_10_RushHourLoad(b *testing.B) {
 		printRows("Tables 9/10: rush hour shrinks RBs, CQI stable", fmt.Sprintf(
 			"rush: RB=%.1f CQI=%.1f | night: RB=%.1f CQI=%.1f\n",
 			rush.MeanRB, rush.MeanCQI, night.MeanRB, night.MeanCQI))
+	}
+}
+
+// BenchmarkParallelBuild measures the deterministic worker-pool speedup on
+// dataset generation: same seed, same bytes, different worker counts.
+func BenchmarkParallelBuild(b *testing.B) {
+	spec := sim.SubDatasetSpec{Operator: spectrum.OpZ, Mobility: mobility.Driving, Gran: sim.Long}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim.Build(spec, sim.BuildOpts{
+					Traces: 8, SamplesPerTrace: 400, Seed: 42,
+					Modem: ran.ModemX70, Workers: workers,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkParallelTable4 measures the pool across the full experiment
+// fan-out: sub-dataset builds and model training at 1 vs 4 workers.
+func BenchmarkParallelTable4(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.MLConfig{
+					Traces: 4, SamplesPerTrace: 200, Stride: 2,
+					Hidden: 16, Epochs: 15, Patience: 5, Seed: 42,
+					Models:  []string{"LSTM", "TCN", "Prism5G"},
+					Workers: workers,
+				}
+				experiments.Table4(sim.Long, cfg)
+			}
+		})
 	}
 }

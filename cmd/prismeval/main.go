@@ -20,6 +20,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", true, "use the small configuration (the paper-scale run takes ~1 h)")
 	seed := flag.Uint64("seed", 42, "seed")
+	workers := flag.Int("workers", 0, "worker pool size: 0 = one per CPU, 1 = legacy serial; results are identical at any setting")
 	doTable4 := flag.Bool("table4", false, "run Table 4 (both granularities)")
 	doAblation := flag.Bool("ablation", false, "run the Table 13 ablation")
 	doGeneral := flag.Bool("general", false, "run Table 14 generalizability")
@@ -33,6 +34,7 @@ func main() {
 	if *quick {
 		cfg = experiments.QuickMLConfig(*seed)
 	}
+	cfg.Workers = *workers
 	if !(*doTable4 || *doAblation || *doGeneral || *doSeries || *doRuntime || *doRobust) {
 		*doAll = true
 	}

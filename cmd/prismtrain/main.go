@@ -26,6 +26,7 @@ func main() {
 	gran := flag.String("gran", "short", "short (10ms) or long (1s)")
 	quick := flag.Bool("quick", false, "use the small CI-sized configuration")
 	seed := flag.Uint64("seed", 42, "seed")
+	workers := flag.Int("workers", 0, "worker pool size: 0 = one per CPU, 1 = legacy serial; results are identical at any setting")
 	flag.Parse()
 
 	g := sim.Long
@@ -47,6 +48,7 @@ func main() {
 		cfg = experiments.QuickMLConfig(*seed)
 	}
 	cfg.Models = []string{*model}
+	cfg.Workers = *workers
 
 	fmt.Printf("training %s on %s ...\n", *model, spec.Name())
 	cells := experiments.Table4Cell(spec, cfg)

@@ -6,11 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"prism5g/internal/mobility"
+	"prism5g/internal/par"
 	"prism5g/internal/phy"
 	"prism5g/internal/ran"
 	"prism5g/internal/rng"
@@ -299,8 +301,10 @@ func Fig5ComboViolins(seed uint64) []ComboViolinRow {
 		{spectrum.OpZ, []string{"n41^a", "n71^a", "n25^a", "n41^b"}}, // 180 MHz 4CC
 		{spectrum.OpZ, []string{"n41^a", "n71^a", "n25^a", "n41^d"}}, // 160 MHz 4CC variant
 	}
-	var rows []ComboViolinRow
-	for i, cs := range specs {
+	// Each combo is an independent seeded run; fan them out (results stay
+	// in spec order, identical at any worker count).
+	return par.MustMap(context.Background(), len(specs), 0, func(i int) ComboViolinRow {
+		cs := specs[i]
 		net, start := IdealStart(cs.op, mobility.Urban, seed+uint64(i))
 		tr, _ := idealRun(net, start, cs.op, spectrum.NR, ran.ModemX70, cs.lock, seed+uint64(i)*13)
 		plan := spectrum.PlanFor(cs.op)
@@ -312,14 +316,13 @@ func Fig5ComboViolins(seed uint64) []ComboViolinRow {
 				}
 			}
 		}
-		rows = append(rows, ComboViolinRow{
+		return ComboViolinRow{
 			Operator: cs.op,
 			Combo:    strings.Join(cs.lock, "+"),
 			AggBWMHz: bw,
 			Summary:  stats.Violin(tr.AggSeries()),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // AggregateVsSumResult captures Fig 6: the aggregate is not the sum.
@@ -477,8 +480,9 @@ func Fig11to13Correlations(seed uint64) []CorrelationResult {
 		{"intra", []string{"n41^a", "n41^b"}},
 		{"inter", []string{"n41^a", "n25^a"}},
 	}
-	var out []CorrelationResult
-	for i, cs := range cases {
+	// The intra and inter cases are independent seeded runs: fan out.
+	return par.MustMap(context.Background(), len(cases), 0, func(i int) CorrelationResult {
+		cs := cases[i]
 		// Walking keeps the distance term small so shadowing dominates
 		// the RSRP dynamics: that is the regime where intra-band carriers
 		// track each other and inter-band carriers decorrelate (Fig 13).
@@ -500,7 +504,7 @@ func Fig11to13Correlations(seed uint64) []CorrelationResult {
 			sR = append(sR, s.CCs[1].Vec[trace.FRSRP])
 			sT = append(sT, s.CCs[1].Vec[trace.FTput])
 		}
-		out = append(out, CorrelationResult{
+		return CorrelationResult{
 			Kind:                 cs.kind,
 			Combo:                strings.Join(cs.lock, "+"),
 			PCellRSRPvsPCellTput: stats.Pearson(pR, pT),
@@ -508,9 +512,8 @@ func Fig11to13Correlations(seed uint64) []CorrelationResult {
 			PCellRSRPvsSCellTput: stats.Pearson(pR, sT),
 			SCellRSRPvsPCellTput: stats.Pearson(sR, pT),
 			PCellRSRPvsSCellRSRP: stats.Pearson(pR, sR),
-		})
-	}
-	return out
+		}
+	})
 }
 
 // CCConditioningRow captures Figs 14/15: the same channel behaves
@@ -588,10 +591,12 @@ type PrevalenceRow struct {
 	EventPeriodS float64 // mean time between CC changes
 }
 
-// Fig25DrivingPrevalence reproduces Figs 25/26 for one operator.
+// Fig25DrivingPrevalence reproduces Figs 25/26 for one operator. The three
+// scenario drives are independent seeded runs and execute concurrently.
 func Fig25DrivingPrevalence(op spectrum.Operator, seed uint64) []PrevalenceRow {
-	var rows []PrevalenceRow
-	for i, sc := range []mobility.Scenario{mobility.Urban, mobility.Suburban, mobility.Beltway} {
+	scenarios := []mobility.Scenario{mobility.Urban, mobility.Suburban, mobility.Beltway}
+	return par.MustMap(context.Background(), len(scenarios), 0, func(i int) PrevalenceRow {
+		sc := scenarios[i]
 		tr, st := sim.Run(sim.RunConfig{
 			Operator: op, Scenario: sc, Mobility: mobility.Driving,
 			Modem: ran.ModemX70, Tech: spectrum.NR, DurationS: 240, StepS: 0.2,
@@ -610,15 +615,14 @@ func Fig25DrivingPrevalence(op spectrum.Operator, seed uint64) []PrevalenceRow {
 		if st.CCChangeCount > 0 {
 			period = 240.0 / float64(st.CCChangeCount)
 		}
-		rows = append(rows, PrevalenceRow{
+		return PrevalenceRow{
 			Operator: op, Scenario: sc,
 			CAFraction:   float64(caN) / float64(len(tr.Samples)),
 			NRFraction:   float64(nrN) / float64(len(tr.Samples)),
 			MeanMbps:     st.MeanAggMbps,
 			EventPeriodS: period,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // IndoorResult captures Figs 27/28: indoor coverage with and without the
@@ -691,11 +695,13 @@ type UECapabilityRow struct {
 	MeanMbps float64
 }
 
-// Fig29UECapability reproduces Fig 29: newer modems unlock deeper CA and
-// higher throughput on the identical walk.
+// Fig29UECapability reproduces Fig 29 / Table 5: newer modems unlock deeper
+// CA and higher throughput on the identical walk. The per-modem runs share
+// the seed but nothing mutable, so they execute concurrently.
 func Fig29UECapability(seed uint64) []UECapabilityRow {
-	var rows []UECapabilityRow
-	for _, m := range []ran.Modem{ran.ModemX50, ran.ModemX60, ran.ModemX65, ran.ModemX70} {
+	modems := []ran.Modem{ran.ModemX50, ran.ModemX60, ran.ModemX65, ran.ModemX70}
+	return par.MustMap(context.Background(), len(modems), 0, func(i int) UECapabilityRow {
+		m := modems[i]
 		tr, st := sim.Run(sim.RunConfig{
 			Operator: spectrum.OpZ, Scenario: mobility.Urban, Mobility: mobility.Walking,
 			Modem: m, Tech: spectrum.NR, DurationS: 120, StepS: 0.2, Seed: seed,
@@ -706,13 +712,12 @@ func Fig29UECapability(seed uint64) []UECapabilityRow {
 				caN++
 			}
 		}
-		rows = append(rows, UECapabilityRow{
+		return UECapabilityRow{
 			Modem: m, Phone: m.Phone(), MaxCCs: st.MaxActiveCCs,
 			CAFrac:   float64(caN) / float64(len(tr.Samples)),
 			MeanMbps: st.MeanAggMbps,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // TemporalRow is one Table 8 entry: per-CC signal stability across times of

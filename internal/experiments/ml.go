@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"prism5g/internal/core"
 	"prism5g/internal/ml"
 	"prism5g/internal/mobility"
+	"prism5g/internal/par"
 	"prism5g/internal/predictors"
 	"prism5g/internal/ran"
 	"prism5g/internal/rng"
@@ -31,6 +33,11 @@ type MLConfig struct {
 	Seed uint64
 	// Models lists which predictors to run (nil = all Table 4 columns).
 	Models []string
+	// Workers bounds every fan-out layer of an experiment — sub-dataset
+	// cells, trace generation, model training: 0 = one worker per CPU,
+	// 1 = the legacy serial path. Results are byte-identical at any
+	// setting; only wall-clock changes.
+	Workers int
 }
 
 // QuickMLConfig is sized for CI: minutes, not hours.
@@ -76,7 +83,7 @@ type Problem struct {
 func BuildProblem(spec sim.SubDatasetSpec, cfg MLConfig) *Problem {
 	ds := sim.Build(spec, sim.BuildOpts{
 		Traces: cfg.Traces, SamplesPerTrace: cfg.SamplesPerTrace,
-		Seed: cfg.Seed, Modem: ran.ModemX70,
+		Seed: cfg.Seed, Modem: ran.ModemX70, Workers: cfg.Workers,
 	})
 	sc := &trace.Scaler{}
 	sc.Fit(ds.Traces)
@@ -161,18 +168,26 @@ type CellResult struct {
 }
 
 // Table4Cell trains and evaluates the configured models on one sub-dataset.
+// The models are independent given the shared (read-only) problem, so they
+// train concurrently behind predictors.TrainAll; results keep model order.
 func Table4Cell(spec sim.SubDatasetSpec, cfg MLConfig) []CellResult {
 	prob := BuildProblem(spec, cfg)
-	var out []CellResult
-	for _, name := range cfg.modelNames() {
-		m := buildModel(name, prob, cfg)
-		t0 := time.Now()
-		rep := m.Train(prob.Train, prob.Val)
+	names := cfg.modelNames()
+	models := make([]predictors.Predictor, len(names))
+	for i, name := range names {
+		models[i] = buildModel(name, prob, cfg)
+	}
+	reps, err := predictors.TrainAll(context.Background(), models, prob.Train, prob.Val, cfg.Workers)
+	if err != nil {
+		panic(err) // a training crash aborted the run, as in the serial path
+	}
+	out := make([]CellResult, 0, len(names))
+	for i, name := range names {
 		out = append(out, CellResult{
 			Dataset: spec.Name(), Model: name,
-			RMSE:      predictors.Evaluate(m, prob.Test),
-			TrainTime: time.Since(t0),
-			Epochs:    rep.Epochs,
+			RMSE:      predictors.Evaluate(models[i], prob.Test),
+			TrainTime: reps[i].Duration,
+			Epochs:    reps[i].Epochs,
 		})
 	}
 	return out
@@ -185,11 +200,18 @@ type Table4Result struct {
 }
 
 // Table4 runs the paper's headline comparison over all six sub-datasets at
-// one granularity.
+// one granularity. The (sub-dataset, model) cells are independent, so the
+// sub-dataset columns run concurrently (cfg.Workers bounds the pool); each
+// cell derives all randomness from cfg.Seed and the grid is assembled in
+// sub-dataset order, so the result is byte-identical at any worker count.
 func Table4(gran sim.Granularity, cfg MLConfig) Table4Result {
 	res := Table4Result{Gran: gran}
-	for _, spec := range sim.AllSubDatasets(gran) {
-		res.Cells = append(res.Cells, Table4Cell(spec, cfg)...)
+	specs := sim.AllSubDatasets(gran)
+	cells := par.MustMap(context.Background(), len(specs), cfg.Workers, func(i int) []CellResult {
+		return Table4Cell(specs[i], cfg)
+	})
+	for _, c := range cells {
+		res.Cells = append(res.Cells, c...)
 	}
 	return res
 }
@@ -265,19 +287,21 @@ type AblationResult struct {
 	Full, NoState, NoFusion float64
 }
 
-// Table13Ablation reproduces Table 13 on one sub-dataset.
+// Table13Ablation reproduces Table 13 on one sub-dataset; the three model
+// variants train concurrently.
 func Table13Ablation(spec sim.SubDatasetSpec, cfg MLConfig) AblationResult {
 	prob := BuildProblem(spec, cfg)
-	run := func(name string) float64 {
-		m := buildModel(name, prob, cfg)
+	names := []string{"Prism5G", "Prism5G-NoState", "Prism5G-NoFusion"}
+	rmses := par.MustMap(context.Background(), len(names), cfg.Workers, func(i int) float64 {
+		m := buildModel(names[i], prob, cfg)
 		m.Train(prob.Train, prob.Val)
 		return predictors.Evaluate(m, prob.Test)
-	}
+	})
 	return AblationResult{
 		Dataset:  spec.Name(),
-		Full:     run("Prism5G"),
-		NoState:  run("Prism5G-NoState"),
-		NoFusion: run("Prism5G-NoFusion"),
+		Full:     rmses[0],
+		NoState:  rmses[1],
+		NoFusion: rmses[2],
 	}
 }
 
@@ -295,15 +319,20 @@ func Table14Generalizability(cfg MLConfig) []GeneralizabilityResult {
 	models := cfg.modelNames()
 
 	eval := func(train, test []trace.Window) map[string]float64 {
-		out := map[string]float64{}
 		// Carve a validation slice out of training windows.
 		nVal := len(train) / 5
 		val := train[:nVal]
 		tr := train[nVal:]
-		for _, name := range models {
-			m := buildModel(name, prob, cfg)
-			m.Train(tr, val)
-			out[name] = predictors.Evaluate(m, test)
+		built := make([]predictors.Predictor, len(models))
+		for i, name := range models {
+			built[i] = buildModel(name, prob, cfg)
+		}
+		if _, err := predictors.TrainAll(context.Background(), built, tr, val, cfg.Workers); err != nil {
+			panic(err)
+		}
+		out := map[string]float64{}
+		for i, name := range models {
+			out[name] = predictors.Evaluate(built[i], test)
 		}
 		return out
 	}
@@ -352,11 +381,17 @@ func Fig17PredictionSeries(spec sim.SubDatasetSpec, cfg MLConfig) SeriesResult {
 	held := map[int]bool{len(prob.Dataset.Traces) - 2: true, len(prob.Dataset.Traces) - 1: true}
 	train, _ := trace.SplitByTrace(prob.Windows, func(ti int) bool { return held[ti] })
 	nVal := len(train) / 5
+	names := cfg.modelNames()
+	built := make([]predictors.Predictor, len(names))
+	for i, name := range names {
+		built[i] = buildModel(name, prob, cfg)
+	}
+	if _, err := predictors.TrainAll(context.Background(), built, train[nVal:], train[:nVal], cfg.Workers); err != nil {
+		panic(err)
+	}
 	models := map[string]predictors.Predictor{}
-	for _, name := range cfg.modelNames() {
-		m := buildModel(name, prob, cfg)
-		m.Train(train[nVal:], train[:nVal])
-		models[name] = m
+	for i, name := range names {
+		models[name] = built[i]
 	}
 	wopts := trace.WindowOpts{History: 10, Horizon: 10, Stride: 1}
 	for ti := range prob.Dataset.Traces {

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"prism5g/internal/faults"
+	"prism5g/internal/par"
 	"prism5g/internal/predictors"
 	"prism5g/internal/ran"
 	"prism5g/internal/rng"
@@ -108,6 +110,12 @@ func robustnessModels(cfg MLConfig) []string {
 // wrapper and reports pooled test RMSE plus every resilience counter. At
 // severity 0 the sweep reduces to the clean Table 4 protocol, so the first
 // row doubles as the regression anchor.
+//
+// Severity rows are independent — each derives its campaign and training
+// randomness from cfg.Seed alone — so they run concurrently on a pool
+// bounded by cfg.Workers; DegradationPct is computed in a post-pass against
+// the clean row once every row has finished, keeping the table
+// byte-identical to the serial sweep at any worker count.
 func RobustnessSweep(spec sim.SubDatasetSpec, severities []float64, cfg MLConfig) *RobustnessResult {
 	if len(severities) == 0 {
 		severities = DefaultSeverities()
@@ -117,8 +125,8 @@ func RobustnessSweep(spec sim.SubDatasetSpec, severities []float64, cfg MLConfig
 		Severities: severities,
 		Models:     robustnessModels(cfg),
 	}
-	clean := map[string]float64{}
-	for _, sev := range severities {
+	rows := par.MustMap(context.Background(), len(severities), cfg.Workers, func(i int) []RobustnessCell {
+		sev := severities[i]
 		var plan *faults.FaultPlan
 		if sev > 0 {
 			p := faults.PlanAtSeverity(sev)
@@ -126,7 +134,7 @@ func RobustnessSweep(spec sim.SubDatasetSpec, severities []float64, cfg MLConfig
 		}
 		ds, faultRep := sim.BuildReport(spec, sim.BuildOpts{
 			Traces: cfg.Traces, SamplesPerTrace: cfg.SamplesPerTrace,
-			Seed: cfg.Seed, Modem: ran.ModemX70, Faults: plan,
+			Seed: cfg.Seed, Modem: ran.ModemX70, Faults: plan, Workers: cfg.Workers,
 		})
 		_, repairRep := ds.ValidateAndRepair(trace.DefaultRepairOpts())
 
@@ -139,11 +147,12 @@ func RobustnessSweep(spec sim.SubDatasetSpec, severities []float64, cfg MLConfig
 		validTrain, skipTrain := predictors.FilterValid(train)
 		validVal, skipVal := predictors.FilterValid(val)
 
+		cells := make([]RobustnessCell, 0, len(res.Models))
 		for _, name := range res.Models {
 			m := predictors.NewResilient(buildModel(name, prob, cfg), 10)
 			rep := m.Train(validTrain, validVal)
 			rmse, _ := predictors.EvaluateSkipping(m, test)
-			cell := RobustnessCell{
+			cells = append(cells, RobustnessCell{
 				Severity:       sev,
 				Model:          name,
 				RMSE:           rmse,
@@ -152,14 +161,28 @@ func RobustnessSweep(spec sim.SubDatasetSpec, severities []float64, cfg MLConfig
 				SkippedWindows: skipTrain + skipVal,
 				Retries:        rep.Retries,
 				Fallback:       rep.Fallback || m.Demoted(),
-			}
-			if sev == 0 {
-				clean[name] = rmse
-			} else if base, ok := clean[name]; ok && base > 0 {
-				cell.DegradationPct = 100 * (rmse/base - 1)
-			}
-			res.Cells = append(res.Cells, cell)
+			})
 		}
+		return cells
+	})
+	// Post-pass: degradation of a row relative to the clean (severity-0)
+	// row, matching the serial sweep's semantics — a severity only gets a
+	// baseline if severity 0 precedes it in the list.
+	clean := map[string]float64{}
+	for _, cells := range rows {
+		for j := range cells {
+			c := &cells[j]
+			if c.Severity == 0 {
+				clean[c.Model] = c.RMSE
+				continue
+			}
+			if base, ok := clean[c.Model]; ok && base > 0 {
+				c.DegradationPct = 100 * (c.RMSE/base - 1)
+			}
+		}
+	}
+	for _, cells := range rows {
+		res.Cells = append(res.Cells, cells...)
 	}
 	return res
 }

@@ -1,0 +1,154 @@
+// Package par is the repository's deterministic parallel-execution engine.
+//
+// Every headline artifact of the reproduction — the Table 4 model grid, the
+// figure sweeps, dataset generation, the robustness severity rows — is
+// embarrassingly parallel: independent cells indexed 0..n-1 whose results
+// are assembled in index order. par.Map and par.ForEach run those cells on a
+// bounded worker pool while preserving the exact observable behaviour of the
+// serial loop:
+//
+//   - Results are returned in task-index order, never completion order.
+//   - Tasks must not share mutable state; under that contract the output is
+//     byte-identical at any worker count (the determinism contract, see
+//     DESIGN.md "Deterministic parallelism").
+//   - A panic inside a task is captured and surfaced as a *PanicError
+//     rather than crashing sibling workers.
+//   - When several tasks fail, the error of the lowest task index wins, so
+//     error reporting is deterministic too.
+//   - Context cancellation stops dispatching new tasks; tasks already
+//     running finish.
+//
+// workers <= 0 selects runtime.NumCPU(); workers == 1 is the legacy serial
+// path (the tasks run inline on the calling goroutine).
+package par
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError wraps a panic recovered from a task.
+type PanicError struct {
+	Task  int
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: task %d panicked: %v\n%s", e.Task, e.Value, e.Stack)
+}
+
+// Workers resolves a worker-count setting: n <= 0 means runtime.NumCPU()
+// (the "auto" setting of the CLI -workers flags), any other value is used
+// as given.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ForEach runs fn(0..n-1) on at most workers goroutines and waits for all
+// of them. It returns the error of the lowest failing task index, or
+// ctx.Err() if the context was cancelled before every task was dispatched.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := runTask(i, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := runTask(i, fn); err != nil {
+					errs[i] = err
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// runTask invokes fn(i) converting a panic into a *PanicError.
+func runTask(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Task: i, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// Map runs fn(0..n-1) on at most workers goroutines and returns the results
+// in task-index order. Error semantics match ForEach; on error the returned
+// slice holds the results of the tasks that completed.
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}
+
+// MustMap is Map for task functions that cannot fail; a captured panic is
+// re-raised on the calling goroutine, preserving the crash semantics of the
+// serial loop it replaces.
+func MustMap[T any](ctx context.Context, n, workers int, fn func(i int) T) []T {
+	out, err := Map(ctx, n, workers, func(i int) (T, error) {
+		return fn(i), nil
+	})
+	if err != nil {
+		if pe, ok := err.(*PanicError); ok {
+			panic(pe.Value)
+		}
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedAtAnyWorkerCount(t *testing.T) {
+	want := make([]int, 100)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, w := range []int{0, 1, 2, 4, 8, 100} {
+		got, err := Map(context.Background(), len(want), w, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d]=%d want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(0) != runtime.NumCPU() {
+		t.Fatalf("Workers(0) = %d, want NumCPU %d", Workers(0), runtime.NumCPU())
+	}
+	if Workers(-3) != runtime.NumCPU() {
+		t.Fatal("negative should resolve to NumCPU")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("explicit count not honoured")
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	err := ForEach(context.Background(), 64, workers, func(i int) error {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, cap is %d", p, workers)
+	}
+}
+
+func TestPanicSurfacesAsError(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		_, err := Map(context.Background(), 8, w, func(i int) (int, error) {
+			if i == 5 {
+				panic("boom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %v", w, err)
+		}
+		if pe.Task != 5 || fmt.Sprint(pe.Value) != "boom" {
+			t.Fatalf("workers=%d: wrong panic payload: %+v", w, pe)
+		}
+	}
+}
+
+func TestLowestIndexErrorWins(t *testing.T) {
+	sentinel3 := errors.New("task 3")
+	sentinel7 := errors.New("task 7")
+	// Task 7 fails instantly; task 3 fails after a delay. The reported
+	// error must still be task 3's (the lowest failing index among tasks
+	// that ran).
+	err := ForEach(context.Background(), 8, 8, func(i int) error {
+		switch i {
+		case 3:
+			time.Sleep(20 * time.Millisecond)
+			return sentinel3
+		case 7:
+			return sentinel7
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel3) {
+		t.Fatalf("want task 3's error, got %v", err)
+	}
+}
+
+func TestContextCancellationStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEach(ctx, 1000, 2, func(i int) error {
+		if ran.Add(1) == 4 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatal("cancellation did not stop dispatch")
+	}
+}
+
+func TestMustMapRepanics(t *testing.T) {
+	defer func() {
+		if p := recover(); fmt.Sprint(p) != "kaput" {
+			t.Fatalf("want original panic value, got %v", p)
+		}
+	}()
+	MustMap(context.Background(), 4, 4, func(i int) int {
+		if i == 2 {
+			panic("kaput")
+		}
+		return i
+	})
+}
+
+func TestEmptyAndSerialEdgeCases(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal("n=0 must be a no-op")
+	}
+	// nil context is treated as background.
+	out, err := Map(nil, 3, 1, func(i int) (int, error) { return i, nil }) //nolint:staticcheck
+	if err != nil || len(out) != 3 {
+		t.Fatalf("nil ctx: %v %v", out, err)
+	}
+}

@@ -2,6 +2,7 @@ package predictors
 
 import (
 	"fmt"
+	"math"
 
 	"prism5g/internal/ml"
 	"prism5g/internal/rng"
@@ -193,9 +194,32 @@ func (p *HarmonicMean) Name() string { return "HarmonicMean" }
 // Train implements Predictor (no parameters).
 func (p *HarmonicMean) Train(train, val []trace.Window) TrainReport { return TrainReport{} }
 
-// Predict implements Predictor.
+// hmFloor is the throughput floor (scaled units) substituted for zero or
+// negative history samples. RLF outages write exact zeros into the history;
+// a harmonic mean must count them as (near-)zero bandwidth, not skip them.
+const hmFloor = 1e-6
+
+// Predict implements Predictor. The history window is sanitized first:
+// non-finite samples (corrupted sensor reads that bypassed repair) are
+// dropped, and zero or negative samples — routine during injected radio
+// link failure outages — are floored to hmFloor instead of being ignored.
+// stats.HarmonicMean skips non-positive entries, so an outage-heavy window
+// like [0 0 0 300] would otherwise estimate 300 Mbps of bandwidth where the
+// link was down three quarters of the time; flooring drags the estimate
+// toward zero, which is what MPC's conservative estimator is for.
 func (p *HarmonicMean) Predict(w trace.Window) []float64 {
-	h := stats.HarmonicMean(w.AggHist)
+	hist := make([]float64, 0, len(w.AggHist))
+	for _, v := range w.AggHist {
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			continue
+		case v < hmFloor:
+			hist = append(hist, hmFloor)
+		default:
+			hist = append(hist, v)
+		}
+	}
+	h := stats.HarmonicMean(hist)
 	out := make([]float64, p.Horizon)
 	for i := range out {
 		out[i] = h

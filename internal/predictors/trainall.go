@@ -1,0 +1,33 @@
+package predictors
+
+import (
+	"context"
+	"time"
+
+	"prism5g/internal/par"
+	"prism5g/internal/trace"
+)
+
+// TrainAll trains independent predictors for one dataset concurrently on a
+// bounded worker pool (workers <= 0 selects one per CPU, 1 is the legacy
+// serial path) and returns their reports in model order.
+//
+// The models must not share mutable state: every predictor in this package
+// owns its parameters and derives its randomness from its own seeded
+// stream, and the train/val windows are only read — so training the same
+// models at any worker count produces bit-identical weights and reports
+// (wall-clock Duration aside). A panic inside one model's Train is captured
+// and surfaced as a *par.PanicError instead of tearing down the siblings;
+// reports of models that finished are still returned.
+func TrainAll(ctx context.Context, models []Predictor, train, val []trace.Window, workers int) ([]TrainReport, error) {
+	return par.Map(ctx, len(models), workers, func(i int) (TrainReport, error) {
+		t0 := time.Now()
+		rep := models[i].Train(train, val)
+		if rep.Duration == 0 {
+			// Predictors without an internal training loop (Prophet, the
+			// tree ensembles, HarmonicMean) leave Duration unset.
+			rep.Duration = time.Since(t0)
+		}
+		return rep, nil
+	})
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"prism5g/internal/faults"
+	"prism5g/internal/mobility"
+	"prism5g/internal/ran"
+	"prism5g/internal/spectrum"
+)
+
+// TestBuildDeterminismAcrossWorkers is the determinism contract of the
+// parallel engine: for a fixed seed, Build produces byte-identical output
+// at any worker count, because every per-trace seed is drawn serially in
+// index order before the pool starts and results are assembled in index
+// order. Compared byte-for-byte through the JSON encoding.
+func TestBuildDeterminismAcrossWorkers(t *testing.T) {
+	spec := SubDatasetSpec{Operator: spectrum.OpZ, Mobility: mobility.Driving, Gran: Long}
+	encode := func(workers int) []byte {
+		d := Build(spec, BuildOpts{
+			Traces: 5, SamplesPerTrace: 80, Seed: 1234,
+			Modem: ran.ModemX70, Workers: workers,
+		})
+		var buf bytes.Buffer
+		if err := d.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON (workers=%d): %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	serial := encode(1)
+	for _, w := range []int{4, 8} {
+		if got := encode(w); !bytes.Equal(got, serial) {
+			t.Fatalf("workers=%d output differs from serial (%d vs %d bytes)", w, len(got), len(serial))
+		}
+	}
+}
+
+// TestBuildReportDeterminismAcrossWorkers extends the contract to the
+// fault-injected path: the fault report and the degraded traces must also
+// be independent of the worker count, including through the Short
+// granularity's CutAroundTransition pass.
+func TestBuildReportDeterminismAcrossWorkers(t *testing.T) {
+	spec := SubDatasetSpec{Operator: spectrum.OpZ, Mobility: mobility.Driving, Gran: Short}
+	plan := faults.PlanAtSeverity(0.5)
+	run := func(workers int) ([]byte, faults.Report) {
+		d, rep := BuildReport(spec, BuildOpts{
+			Traces: 3, SamplesPerTrace: 60, Seed: 77,
+			Modem: ran.ModemX70, Faults: &plan, Workers: workers,
+		})
+		var buf bytes.Buffer
+		if err := d.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON (workers=%d): %v", workers, err)
+		}
+		return buf.Bytes(), rep
+	}
+	serialBytes, serialRep := run(1)
+	for _, w := range []int{4, 8} {
+		gotBytes, gotRep := run(w)
+		if !bytes.Equal(gotBytes, serialBytes) {
+			t.Fatalf("workers=%d dataset differs from serial", w)
+		}
+		if gotRep != serialRep {
+			t.Fatalf("workers=%d fault report differs: %+v vs %+v", w, gotRep, serialRep)
+		}
+	}
+}

@@ -7,11 +7,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"prism5g/internal/faults"
 	"prism5g/internal/mobility"
+	"prism5g/internal/par"
 	"prism5g/internal/ran"
 	"prism5g/internal/rng"
 	"prism5g/internal/spectrum"
@@ -391,6 +393,11 @@ type BuildOpts struct {
 	// Faults optionally degrades every generated trace; nil builds the
 	// historical clean dataset.
 	Faults *faults.FaultPlan
+	// Workers bounds the trace-generation worker pool: 0 = one worker per
+	// CPU, 1 = the legacy serial path. Every trace draws its seed from the
+	// build's root stream before any worker starts, so the dataset is
+	// byte-identical at every worker count.
+	Workers int
 }
 
 // DefaultBuildOpts mirrors Table 11: 10 traces, ~450 samples each.
@@ -408,15 +415,24 @@ func Build(spec SubDatasetSpec, opts BuildOpts) *trace.Dataset {
 
 // BuildReport is Build also returning the aggregate fault-injection report
 // (zero when BuildOpts.Faults is nil).
+//
+// Traces of a sub-dataset are independent runs, so they are generated on a
+// bounded worker pool (BuildOpts.Workers). Determinism contract: every
+// trace's seed is drawn from the root stream in index order before any
+// worker starts, each run derives all randomness from its own seed, and the
+// results are assembled in index order — the dataset is byte-identical to
+// the serial build at any worker count.
 func BuildReport(spec SubDatasetSpec, opts BuildOpts) (*trace.Dataset, faults.Report) {
 	var report faults.Report
 	if opts.Traces == 0 {
-		plan := opts.Faults
+		plan, workers := opts.Faults, opts.Workers
 		opts = DefaultBuildOpts(opts.Seed)
 		opts.Faults = plan
+		opts.Workers = workers
 	}
 	d := &trace.Dataset{Name: spec.Name(), StepS: spec.Gran.StepS()}
 	seedSrc := rng.New(opts.Seed ^ uint64(len(spec.Name()))*0x9e37)
+	cfgs := make([]RunConfig, opts.Traces)
 	for i := 0; i < opts.Traces; i++ {
 		sc := mobility.Urban
 		if spec.Mobility == mobility.Driving {
@@ -438,7 +454,7 @@ func BuildReport(spec SubDatasetSpec, opts BuildOpts) (*trace.Dataset, faults.Re
 			// extracted from a continuous drive log.
 			dur = math.Max(45, 3*dur)
 		}
-		tr, stats := Run(RunConfig{
+		cfgs[i] = RunConfig{
 			Operator:  spec.Operator,
 			Scenario:  sc,
 			Mobility:  spec.Mobility,
@@ -450,12 +466,22 @@ func BuildReport(spec SubDatasetSpec, opts BuildOpts) (*trace.Dataset, faults.Re
 			Route:     i / 2,
 			Run:       i % 2,
 			Faults:    opts.Faults,
-		})
+		}
+	}
+	type built struct {
+		tr    trace.Trace
+		stats RunStats
+	}
+	results := par.MustMap(context.Background(), opts.Traces, opts.Workers, func(i int) built {
+		tr, stats := Run(cfgs[i])
 		if spec.Gran == Short {
 			tr = CutAroundTransition(tr, opts.SamplesPerTrace)
 		}
-		report.Add(stats.Faults)
-		d.Traces = append(d.Traces, tr)
+		return built{tr: tr, stats: stats}
+	})
+	for _, r := range results {
+		report.Add(r.stats.Faults)
+		d.Traces = append(d.Traces, r.tr)
 	}
 	return d, report
 }
@@ -479,22 +505,22 @@ func CutAroundTransition(tr trace.Trace, n int) trace.Trace {
 		}
 	}
 	// Sliding-window count, keeping the transition away from the very
-	// edges by evaluating interior coverage only.
+	// edges by evaluating interior coverage only: trans[i] records the
+	// change between samples i-1 and i, so for a window [s, s+n) only
+	// trans[s+1 .. s+n-1] are interior — trans[s] happened against sample
+	// s-1 outside the window and must not be credited to it.
 	count := 0
-	for i := 0; i < n; i++ {
+	for i := 1; i < n; i++ {
 		count += trans[i]
 	}
 	best, bestStart := count, 0
 	for startIdx := 1; startIdx+n <= N; startIdx++ {
-		count += trans[startIdx+n-1] - trans[startIdx-1]
+		count += trans[startIdx+n-1] - trans[startIdx]
 		if count > best {
 			best, bestStart = count, startIdx
 		}
 	}
 	start := bestStart
-	if start+n > len(tr.Samples) {
-		start = len(tr.Samples) - n
-	}
 	out := tr
 	out.Samples = append([]trace.Sample(nil), tr.Samples[start:start+n]...)
 	t0 := out.Samples[0].T

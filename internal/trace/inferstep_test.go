@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// setTimes rewrites the trace's sample timestamps.
+func setTimes(tr *Trace, ts []float64) {
+	for i := range tr.Samples {
+		tr.Samples[i].T = ts[i]
+	}
+}
+
+func TestInferStepDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name     string
+		times    []float64
+		wantErr  bool
+		wantKind ErrKind
+		wantStep float64
+	}{
+		{name: "empty", times: nil, wantErr: true, wantKind: ErrShape},
+		{name: "single row", times: []float64{0}, wantErr: true, wantKind: ErrShape},
+		{name: "all identical timestamps", times: []float64{3, 3, 3, 3}, wantErr: true, wantKind: ErrTimestamps},
+		{name: "non-finite deltas only", times: []float64{0, math.NaN(), math.NaN()}, wantErr: true, wantKind: ErrTimestamps},
+		{name: "monotone decreasing", times: []float64{5, 4, 3}, wantErr: true, wantKind: ErrTimestamps},
+		// Deltas {1, 2}: even count, true median = mean of middle two = 1.5.
+		// The pre-fix code returned deltas[1] = 2.
+		{name: "even delta count uses true median", times: []float64{0, 1, 3}, wantStep: 1.5},
+		// Deltas {1, 1, 2, 4} -> (1+2)/2 = 1.5.
+		{name: "even delta count four", times: []float64{0, 1, 2, 4, 8}, wantStep: 1.5},
+		{name: "odd delta count", times: []float64{0, 1, 2, 10}, wantStep: 1},
+		// Identical pairs contribute no delta but the remaining ones do.
+		{name: "partial duplicates", times: []float64{0, 0, 1, 1, 2}, wantStep: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			samples := make([]Sample, len(tc.times))
+			for i, ts := range tc.times {
+				samples[i].T = ts
+			}
+			step, err := inferStep(samples)
+			if tc.wantErr {
+				var verr *ValidationError
+				if !errors.As(err, &verr) {
+					t.Fatalf("got (%v, %v), want *ValidationError", step, err)
+				}
+				if verr.Kind != tc.wantKind {
+					t.Fatalf("kind = %s, want %s", verr.Kind, tc.wantKind)
+				}
+				if step != 0 {
+					t.Fatalf("step = %v alongside error, want 0", step)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("inferStep: %v", err)
+			}
+			if math.Abs(step-tc.wantStep) > 1e-12 {
+				t.Fatalf("step = %v, want %v", step, tc.wantStep)
+			}
+		})
+	}
+}
+
+func TestReadCSVSingleRowIsTypedError(t *testing.T) {
+	tr := makeTrace(1)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	_, err := ReadCSV(&buf)
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("single-row CSV: got %T (%v), want *ValidationError", err, err)
+	}
+	if verr.Kind != ErrShape {
+		t.Fatalf("kind = %s, want shape", verr.Kind)
+	}
+}
+
+func TestReadCSVIdenticalTimestampsIsTypedError(t *testing.T) {
+	tr := makeTrace(6)
+	setTimes(&tr, []float64{2, 2, 2, 2, 2, 2})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	_, err := ReadCSV(&buf)
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("flat timestamps: got %T (%v), want *ValidationError", err, err)
+	}
+	if verr.Kind != ErrTimestamps {
+		t.Fatalf("kind = %s, want timestamps", verr.Kind)
+	}
+}
+
+func TestReadCSVEvenDeltaMedian(t *testing.T) {
+	tr := makeTrace(3)
+	setTimes(&tr, []float64{0, 1, 3}) // deltas {1, 2} -> median 1.5
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if math.Abs(got.StepS-1.5) > 1e-12 {
+		t.Fatalf("StepS = %v, want 1.5 (true even-count median)", got.StepS)
+	}
+}

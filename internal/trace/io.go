@@ -60,7 +60,10 @@ func csvHeader() []string {
 // typed *ValidationError; it never panics. Value-level corruption (NaN
 // fields, out-of-range masks) is preserved in the returned trace for
 // Validate/Repair to handle, mirroring how a real log is ingested first
-// and sanitized second. StepS is inferred from the median timestamp delta.
+// and sanitized second. StepS is inferred from the median positive
+// timestamp delta; a CSV too degenerate to infer from — at most one row, or
+// not a single increasing timestamp pair — returns a typed
+// *ValidationError instead of a trace with a zero step.
 func ReadCSV(r io.Reader) (*Trace, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1 // row widths are checked by hand for typed errors
@@ -94,7 +97,11 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		}
 		tr.Samples = append(tr.Samples, s)
 	}
-	tr.StepS = inferStep(tr.Samples)
+	step, err := inferStep(tr.Samples)
+	if err != nil {
+		return nil, err
+	}
+	tr.StepS = step
 	return tr, nil
 }
 
@@ -137,9 +144,18 @@ func parseCSVRow(row []string, idx int) (Sample, error) {
 	return s, nil
 }
 
-// inferStep estimates the sampling interval as the median positive
-// timestamp delta.
-func inferStep(samples []Sample) float64 {
+// inferStep estimates the sampling interval as the median positive finite
+// timestamp delta. Degenerate inputs surface as typed errors instead of a
+// zero or NaN step: fewer than two samples is ErrShape (no delta exists at
+// all), while two or more samples without a single positive finite delta
+// (all-identical or corrupted timestamps) is ErrTimestamps. An even-count
+// delta list takes the true median — the mean of the two middle deltas —
+// rather than the upper-middle element.
+func inferStep(samples []Sample) (float64, error) {
+	if len(samples) < 2 {
+		return 0, &ValidationError{Kind: ErrShape, TraceIdx: -1, SampleIdx: -1,
+			Msg: fmt.Sprintf("cannot infer step from %d sample(s)", len(samples))}
+	}
 	var deltas []float64
 	for i := 1; i < len(samples); i++ {
 		if d := samples[i].T - samples[i-1].T; finite(d) && d > 0 {
@@ -147,10 +163,15 @@ func inferStep(samples []Sample) float64 {
 		}
 	}
 	if len(deltas) == 0 {
-		return 0
+		return 0, &ValidationError{Kind: ErrTimestamps, TraceIdx: -1, SampleIdx: -1,
+			Msg: "cannot infer step: no positive finite timestamp delta"}
 	}
 	sort.Float64s(deltas)
-	return deltas[len(deltas)/2]
+	mid := len(deltas) / 2
+	if len(deltas)%2 == 0 {
+		return (deltas[mid-1] + deltas[mid]) / 2, nil
+	}
+	return deltas[mid], nil
 }
 
 // WriteJSON encodes the dataset as JSON. Non-finite feature values encode
@@ -190,10 +211,11 @@ func ReadJSONReport(r io.Reader, opts RepairOpts) (*Dataset, *ValidationReport, 
 		return nil, nil, RepairReport{}, err
 	}
 	// A dataset missing its step cannot be gap-checked; infer it from the
-	// traces before validating.
+	// traces before validating. Traces too degraded to infer from are
+	// skipped here — validation reports them below.
 	if d.StepS <= 0 {
 		for i := range d.Traces {
-			if s := inferStep(d.Traces[i].Samples); s > 0 {
+			if s, err := inferStep(d.Traces[i].Samples); err == nil && s > 0 {
 				d.StepS = s
 				break
 			}
