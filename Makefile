@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race fuzz-smoke bench check
+.PHONY: build vet test test-race fuzz-smoke bench conform golden cover check
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,30 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the trace ingest path; CI-sized.
+# Short fuzz passes over the trace ingest paths; CI-sized.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzReadJSON -fuzztime=20s ./internal/trace/
+	$(GO) test -run=^$$ -fuzz=FuzzReadCSV -fuzztime=20s ./internal/trace/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-check: build vet test test-race fuzz-smoke
+# Paper-conformance suite: goldens + statistical invariants + metamorphic
+# laws. Exits nonzero on any violation.
+conform:
+	$(GO) run ./cmd/prismconform
+
+# Regenerate the committed golden fixtures (run after an intentional
+# simulator or experiment change, then review the diff).
+golden:
+	$(GO) test ./internal/conform/ -run TestGoldens -update
+	$(GO) test ./internal/conform/
+
+# Coverage with per-package summary and a soft gate on the packages the
+# conformance harness leans on. coverage.out / coverage.txt are the CI
+# artifacts.
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./... | tee coverage.txt
+	./scripts/covergate.sh coverage.txt
+
+check: build vet test test-race fuzz-smoke conform

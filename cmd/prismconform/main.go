@@ -1,0 +1,99 @@
+// Command prismconform runs the paper-conformance suite: golden fixture
+// comparison (at the fixture seed), the statistical invariants and the
+// metamorphic properties. It exits 0 when every check passes and 1 on any
+// violation, so CI can gate on it directly.
+//
+// Usage:
+//
+//	prismconform [-seed N] [-workers N] [-json] [-perturb tbs|corr] [-list]
+//
+// The golden fixtures are embedded at build time, so the binary runs from
+// any directory. -perturb corrupts the harness's own view of one artifact
+// (the negative self-test: it must make the run fail).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"prism5g/internal/conform"
+)
+
+func main() {
+	seed := flag.Uint64("seed", conform.DefaultSeed, "experiment seed (golden comparison only runs at the default)")
+	workers := flag.Int("workers", 0, "worker pool bound for the underlying experiments (0 = one per CPU)")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable report instead of text")
+	perturb := flag.String("perturb", "", "self-test perturbation: 'tbs' or 'corr' (the run must then fail)")
+	list := flag.Bool("list", false, "list goldens and checks, then exit")
+	flag.Parse()
+
+	if *list {
+		for _, g := range conform.GoldenNames() {
+			fmt.Printf("golden/%s\n", g)
+		}
+		for _, c := range conform.Checks() {
+			fmt.Printf("%s (%s)\n", c.Name, c.Figs)
+		}
+		return
+	}
+	switch *perturb {
+	case "":
+	case "tbs":
+		conform.Hooks.TBSDelta = -123456
+	case "corr":
+		conform.Hooks.CorrFlip = true
+	default:
+		fmt.Fprintf(os.Stderr, "prismconform: unknown -perturb %q (want tbs or corr)\n", *perturb)
+		os.Exit(2)
+	}
+
+	rep := conform.RunAll(conform.NewCtx(conform.Config{Seed: *seed, Workers: *workers}))
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "prismconform: encode report: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		printHuman(rep)
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+func printHuman(rep *conform.Report) {
+	if rep.GoldensSkipped {
+		fmt.Printf("goldens: skipped (seed %d != fixture seed %d)\n", rep.Seed, conform.DefaultSeed)
+	}
+	failed := 0
+	show := func(results []conform.CheckResult) {
+		for _, r := range results {
+			status := "PASS"
+			if !r.OK() {
+				status = "FAIL"
+				failed++
+			}
+			name := r.Name
+			if r.Figs != "" {
+				name += " (" + r.Figs + ")"
+			}
+			fmt.Printf("%s  %-45s %8.2fs\n", status, name, r.Elapsed.Seconds())
+			for _, v := range r.Violations {
+				fmt.Printf("      %s\n", v)
+			}
+		}
+	}
+	show(rep.Goldens)
+	show(rep.Checks)
+	total := len(rep.Goldens) + len(rep.Checks)
+	if failed == 0 {
+		fmt.Printf("conformance: %d/%d passed (seed %d)\n", total, total, rep.Seed)
+	} else {
+		fmt.Printf("conformance: %d/%d FAILED (seed %d)\n", failed, total, rep.Seed)
+	}
+}

@@ -4,9 +4,13 @@
 // Run with:
 //
 //	go run ./examples/quickstart
+//
+// -quick shrinks the dataset and the training budget to a few seconds for
+// CI smoke runs; the defaults match the demo in the README.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,21 +18,33 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "CI-sized run: tiny dataset, few epochs")
+	flag.Parse()
+
 	// 1. Generate one of the paper's sub-datasets: OpZ (the FR1-CA-heavy
 	// operator), driving, 1 s granularity. Everything is simulated — no
 	// carrier network needed — and deterministic given the seed.
 	fmt.Println("generating the OpZ driving dataset ...")
-	ds := prism5g.GenerateDataset(prism5g.OpZ, prism5g.Driving, prism5g.Long, 42)
+	var ds *prism5g.Dataset
+	cfg := prism5g.ModelConfig{Hidden: 16, Epochs: 20, Seed: 1}
+	if *quick {
+		ds = prism5g.GenerateDatasetSized(prism5g.OpZ, prism5g.Driving, prism5g.Long, 42, 3, 60)
+		cfg = prism5g.ModelConfig{Hidden: 6, Epochs: 3, Seed: 1}
+	} else {
+		ds = prism5g.GenerateDataset(prism5g.OpZ, prism5g.Driving, prism5g.Long, 42)
+	}
 	fmt.Printf("dataset %s: %d traces, %d samples\n", ds.Name, len(ds.Traces), ds.NumSamples())
 
 	// 2. Prepare sliding windows and the train/val/test split (0.5/0.2/0.3).
 	bundle := prism5g.Prepare(ds, 1)
 	fmt.Printf("windows: %d train / %d val / %d test\n",
 		len(bundle.Train), len(bundle.Val), len(bundle.Test))
+	if len(bundle.Test) == 0 {
+		log.Fatal("no test windows; the dataset is too small")
+	}
 
 	// 3. Train Prism5G and an LSTM baseline. A small budget is enough for
 	// the demo; see cmd/prismeval for the full evaluation.
-	cfg := prism5g.ModelConfig{Hidden: 16, Epochs: 20, Seed: 1}
 	prism := prism5g.NewPrism5G(bundle, cfg)
 	lstm, err := prism5g.NewBaselineE("LSTM", bundle, cfg)
 	if err != nil {

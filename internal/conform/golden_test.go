@@ -1,0 +1,104 @@
+package conform
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden fixtures")
+
+// testCtx is shared across the package's tests so each expensive artifact
+// is simulated exactly once per `go test` invocation.
+var testCtx = NewCtx(DefaultConfig())
+
+const goldenDir = "testdata/golden"
+
+// TestGoldens compares (or with -update regenerates) every fixture. It
+// reads from disk rather than the embedded copy so that an -update run
+// immediately satisfies the comparison without recompiling.
+func TestGoldens(t *testing.T) {
+	for _, name := range GoldenNames() {
+		t.Run(name, func(t *testing.T) {
+			if *update {
+				if err := UpdateGolden(testCtx, goldenDir, name); err != nil {
+					t.Fatalf("update %s: %v", name, err)
+				}
+				return
+			}
+			for _, v := range CompareGoldenDir(testCtx, goldenDir, name) {
+				t.Error(v)
+			}
+		})
+	}
+}
+
+// TestUpdateIsIdempotent proves the acceptance criterion that -update on an
+// unchanged tree regenerates the committed bytes exactly.
+func TestUpdateIsIdempotent(t *testing.T) {
+	if *update {
+		t.Skip("fixtures are being regenerated")
+	}
+	for _, name := range GoldenNames() {
+		fresh, err := MarshalGolden(testCtx, name)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", name, err)
+		}
+		committed, err := os.ReadFile(filepath.Join(goldenDir, name+".json"))
+		if err != nil {
+			t.Fatalf("read fixture %s: %v (generate with -update)", name, err)
+		}
+		if string(fresh) != string(committed) {
+			t.Errorf("golden %s would change under -update; the tree is not byte-stable", name)
+		}
+	}
+}
+
+// TestDiffJSON pins the failure-message format: path into the JSON plus old
+// and new value.
+func TestDiffJSON(t *testing.T) {
+	want := map[string]any{
+		"a": 1.0,
+		"b": []any{1.0, 2.0, 3.0},
+		"c": map[string]any{"x": "old"},
+	}
+	got := map[string]any{
+		"a": 2.0,
+		"b": []any{1.0, 2.0},
+		"c": map[string]any{"x": "new", "y": true},
+	}
+	var out []Violation
+	diffJSON("t", "$", want, got, &out)
+	byPath := map[string]Violation{}
+	for _, v := range out {
+		byPath[v.Path] = v
+	}
+	if v, ok := byPath["$.a"]; !ok || v.Got != "2" || v.Want != "1" {
+		t.Errorf("$.a diff = %+v", byPath["$.a"])
+	}
+	if _, ok := byPath["$.b.length"]; !ok {
+		t.Errorf("missing array length diff: %v", out)
+	}
+	if v, ok := byPath["$.c.x"]; !ok || v.Got != `"new"` || v.Want != `"old"` {
+		t.Errorf("$.c.x diff = %+v", byPath["$.c.x"])
+	}
+	if _, ok := byPath["$.c.y"]; !ok {
+		t.Errorf("missing new-field diff: %v", out)
+	}
+}
+
+// TestDiffJSONCapped keeps pathological drifts readable.
+func TestDiffJSONCapped(t *testing.T) {
+	want := make([]any, 100)
+	got := make([]any, 100)
+	for i := range want {
+		want[i] = float64(i)
+		got[i] = float64(i + 1)
+	}
+	var out []Violation
+	diffJSON("t", "$", want, got, &out)
+	if len(out) > maxDiffs {
+		t.Errorf("got %d violations, cap is %d", len(out), maxDiffs)
+	}
+}

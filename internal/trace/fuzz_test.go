@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyCSVTrace builds a small well-formed trace for the fuzz corpus and the
+// round-trip test.
+func tinyCSVTrace() *Trace {
+	tr := &Trace{StepS: 0.5}
+	for i := 0; i < 4; i++ {
+		s := Sample{T: float64(i) * 0.5, AggTput: 100 + 10*float64(i), NumActiveCCs: 1}
+		s.CCs[0].ChannelID = "n41^a"
+		s.CCs[0].BandName = "n41"
+		s.CCs[0].Present = true
+		s.CCs[0].IsPCell = true
+		s.CCs[0].Vec[FActive] = 1
+		s.CCs[0].Vec[FBWMHz] = 100
+		s.CCs[0].Vec[FRSRP] = -80.5
+		s.CCs[0].Vec[FTput] = 100 + 10*float64(i)
+		tr.Samples = append(tr.Samples, s)
+	}
+	return tr
+}
+
+// FuzzReadCSV: whatever the bytes, ReadCSV must never panic; every failure
+// must be a typed *ValidationError, and every success must carry a usable
+// positive step and at least two samples.
+func FuzzReadCSV(f *testing.F) {
+	var valid bytes.Buffer
+	if err := tinyCSVTrace().WriteCSV(&valid); err != nil {
+		f.Fatalf("seed trace did not serialize: %v", err)
+	}
+	validCSV := valid.String()
+	header := validCSV[:strings.IndexByte(validCSV, '\n')+1]
+	rows := strings.SplitAfter(validCSV, "\n")
+
+	f.Add(validCSV)                         // clean round-trip input
+	f.Add("")                               // empty file
+	f.Add(header)                           // header only: no samples
+	f.Add(header + rows[1])                 // single row: step not inferable
+	f.Add(header + rows[1] + rows[1])       // identical timestamps
+	f.Add(strings.Replace(validCSV, "0.500", "NaN", 1))   // NaN timestamp
+	f.Add(strings.Replace(validCSV, "110.000", "x", 1))   // unparseable numeric
+	f.Add(header + "1,2,3\n")               // truncated row
+	f.Add("alien,header\n1,2\n")            // alien header
+	f.Add("t\n")                            // right first column, wrong width
+	f.Add(header + rows[1] + "\"")          // dangling quote mid-file
+	f.Add("\x00\x01\xff\xfe")               // binary junk
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			var verr *ValidationError
+			if !errors.As(err, &verr) {
+				t.Fatalf("error is not a *ValidationError: %T %v", err, err)
+			}
+			if verr.Msg == "" {
+				t.Fatalf("typed error carries no message: %+v", verr)
+			}
+			return
+		}
+		if tr == nil {
+			t.Fatal("nil trace with nil error")
+		}
+		if !(tr.StepS > 0) || math.IsInf(tr.StepS, 0) {
+			t.Fatalf("accepted trace has unusable step %v", tr.StepS)
+		}
+		if len(tr.Samples) < 2 {
+			t.Fatalf("accepted trace has %d samples; step inference needs >= 2", len(tr.Samples))
+		}
+	})
+}
+
+// TestCSVRoundTripValues: WriteCSV -> ReadCSV preserves every field up to
+// the fixed formatting precision (3 decimals for aggregates, 4 for
+// features) and re-infers the step. The coarser identity checks live in
+// TestCSVRoundTrip.
+func TestCSVRoundTripValues(t *testing.T) {
+	orig := tinyCSVTrace()
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if got.StepS != orig.StepS {
+		t.Errorf("StepS = %v, want %v", got.StepS, orig.StepS)
+	}
+	if len(got.Samples) != len(orig.Samples) {
+		t.Fatalf("%d samples, want %d", len(got.Samples), len(orig.Samples))
+	}
+	for i, s := range got.Samples {
+		want := orig.Samples[i]
+		if math.Abs(s.T-want.T) > 1e-3 || math.Abs(s.AggTput-want.AggTput) > 1e-3 {
+			t.Errorf("sample %d: T/Agg = %v/%v, want %v/%v", i, s.T, s.AggTput, want.T, want.AggTput)
+		}
+		if s.NumActiveCCs != want.NumActiveCCs {
+			t.Errorf("sample %d: NumActiveCCs = %d, want %d", i, s.NumActiveCCs, want.NumActiveCCs)
+		}
+		for c := 0; c < MaxCC; c++ {
+			if s.CCs[c].ChannelID != want.CCs[c].ChannelID ||
+				s.CCs[c].IsPCell != want.CCs[c].IsPCell ||
+				s.CCs[c].Present != want.CCs[c].Present {
+				t.Errorf("sample %d cc %d identity differs: %+v vs %+v", i, c, s.CCs[c], want.CCs[c])
+			}
+			for f := 0; f < NumCCFeatures; f++ {
+				if math.Abs(s.CCs[c].Vec[f]-want.CCs[c].Vec[f]) > 1e-4 {
+					t.Errorf("sample %d cc %d %s = %v, want %v",
+						i, c, CCFeatureNames[f], s.CCs[c].Vec[f], want.CCs[c].Vec[f])
+				}
+			}
+		}
+	}
+}

@@ -92,6 +92,19 @@ func GenerateDataset(op Operator, mob Mobility, gran Granularity, seed uint64) *
 	)
 }
 
+// GenerateDatasetSized is GenerateDataset with explicit scale — trace count
+// and samples per trace — for demos and CI smoke runs that cannot afford
+// the paper-sized default (10 traces x 450 samples).
+func GenerateDatasetSized(op Operator, mob Mobility, gran Granularity, seed uint64, traces, samplesPerTrace int) *Dataset {
+	opts := sim.DefaultBuildOpts(seed)
+	opts.Traces = traces
+	opts.SamplesPerTrace = samplesPerTrace
+	return sim.Build(
+		sim.SubDatasetSpec{Operator: op, Mobility: mob, Gran: gran},
+		opts,
+	)
+}
+
 // Bundle is a prepared learning problem: scaled windows split into
 // train/validation/test (0.5/0.2/0.3, the paper's ratios) plus the scaler
 // for inverting predictions to Mbps.

@@ -1,0 +1,43 @@
+#!/bin/sh
+# covergate.sh <go-test-cover-output-file>
+#
+# Soft per-package coverage gate over the packages the conformance harness
+# leans on. Reads the summary lines `go test -cover ./...` already printed
+# (no second test run), so `make cover` stays a single pass:
+#
+#   ok  	prism5g/internal/nn	0.011s	coverage: 92.9% of statements
+#
+# Below WARN% prints a warning; below FAIL% (or missing coverage) exits
+# nonzero. The gate is deliberately soft at the top: it catches coverage
+# collapse, not day-to-day drift.
+set -eu
+
+if [ $# -ne 1 ] || [ ! -r "$1" ]; then
+    echo "usage: $0 <go-test-cover-output-file>" >&2
+    exit 2
+fi
+out=$1
+WARN=75
+FAIL=40
+
+status=0
+for pkg in prism5g/internal/conform prism5g/internal/nn prism5g/internal/qoe; do
+    pct=$(awk -v pkg="$pkg" '$1 == "ok" && $2 == pkg {
+        for (i = 3; i <= NF; i++) if ($i == "coverage:") { sub(/%$/, "", $(i+1)); print $(i+1); exit }
+    }' "$out")
+    if [ -z "$pct" ]; then
+        echo "covergate: FAIL $pkg reported no coverage" >&2
+        status=1
+        continue
+    fi
+    int=${pct%.*}
+    if [ "$int" -lt "$FAIL" ]; then
+        echo "covergate: FAIL $pkg at $pct% (floor $FAIL%)" >&2
+        status=1
+    elif [ "$int" -lt "$WARN" ]; then
+        echo "covergate: warn $pkg at $pct% (target $WARN%)"
+    else
+        echo "covergate: ok $pkg at $pct%"
+    fi
+done
+exit $status
