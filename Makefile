@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race fuzz-smoke bench conform golden cover check
+.PHONY: build vet test test-race fuzz-smoke bench bench-json obs-smoke conform golden cover check
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,17 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Headline benchmarks (parallel build, Table 4 fan-out, training loop,
+# ingest repair) rendered as BENCH_obs.json for machine comparison.
+bench-json:
+	./scripts/benchjson.sh
+
+# Telemetry smoke: a quick instrumented run must produce a parseable
+# metrics snapshot covering the sim, par, trace and train stages.
+obs-smoke:
+	$(GO) run ./cmd/prismeval -quick -runtime -metrics obs_metrics.json -journal obs_journal.jsonl
+	./scripts/obssmoke.sh obs_metrics.json
 
 # Paper-conformance suite: goldens + statistical invariants + metamorphic
 # laws. Exits nonzero on any violation.

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	prismconform [-seed N] [-workers N] [-json] [-perturb tbs|corr] [-list]
+//	             [-metrics file] [-journal file] [-pprof addr]
 //
 // The golden fixtures are embedded at build time, so the binary runs from
 // any directory. -perturb corrupts the harness's own view of one artifact
@@ -19,6 +20,7 @@ import (
 	"os"
 
 	"prism5g/internal/conform"
+	"prism5g/internal/obs"
 )
 
 func main() {
@@ -27,7 +29,17 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the machine-readable report instead of text")
 	perturb := flag.String("perturb", "", "self-test perturbation: 'tbs' or 'corr' (the run must then fail)")
 	list := flag.Bool("list", false, "list goldens and checks, then exit")
+	teleFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	tele, err := teleFlags.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prismconform: %v\n", err)
+		os.Exit(2)
+	}
+	if addr := tele.PprofAddr(); addr != "" {
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", addr)
+	}
 
 	if *list {
 		for _, g := range conform.GoldenNames() {
@@ -60,6 +72,13 @@ func main() {
 		}
 	} else {
 		printHuman(rep)
+	}
+	if tele.Active() {
+		fmt.Println(tele.Summary())
+		if err := tele.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "prismconform: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if !rep.OK() {
 		os.Exit(1)

@@ -5,14 +5,21 @@
 // Usage:
 //
 //	prismeval [-quick] [-seed N] [-table4|-ablation|-general|-series|-runtime|-all]
+//	          [-metrics file] [-journal file] [-pprof addr]
+//
+// The telemetry flags are off by default; any of them enables the
+// process-wide metrics registry (see DESIGN.md "Observability") without
+// changing any computed artifact.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"prism5g/internal/experiments"
 	"prism5g/internal/mobility"
+	"prism5g/internal/obs"
 	"prism5g/internal/sim"
 	"prism5g/internal/spectrum"
 )
@@ -28,7 +35,16 @@ func main() {
 	doRuntime := flag.Bool("runtime", false, "run the §6.1 runtime comparison")
 	doRobust := flag.Bool("robust", false, "run the fault-severity robustness sweep")
 	doAll := flag.Bool("all", false, "run everything")
+	teleFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	tele, err := teleFlags.Start()
+	if err != nil {
+		log.Fatalf("prismeval: %v", err)
+	}
+	if addr := tele.PprofAddr(); addr != "" {
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", addr)
+	}
 
 	cfg := experiments.PaperMLConfig(*seed)
 	if *quick {
@@ -93,5 +109,11 @@ func main() {
 		spec := sim.SubDatasetSpec{Operator: spectrum.OpZ, Mobility: mobility.Driving, Gran: sim.Long}
 		res := experiments.RobustnessSweep(spec, experiments.DefaultSeverities(), cfg)
 		fmt.Println(res.Format())
+	}
+	if tele.Active() {
+		fmt.Println(tele.Summary())
+		if err := tele.Close(); err != nil {
+			log.Fatalf("prismeval: %v", err)
+		}
 	}
 }

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	prismtrain [-model Prism5G] [-op OpZ] [-mobility driving] [-gran short]
-//	           [-quick] [-seed N]
+//	           [-quick] [-seed N] [-metrics file] [-journal file] [-pprof addr]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 
 	"prism5g/internal/experiments"
 	"prism5g/internal/mobility"
+	"prism5g/internal/obs"
 	"prism5g/internal/sim"
 	"prism5g/internal/spectrum"
 )
@@ -27,7 +28,16 @@ func main() {
 	quick := flag.Bool("quick", false, "use the small CI-sized configuration")
 	seed := flag.Uint64("seed", 42, "seed")
 	workers := flag.Int("workers", 0, "worker pool size: 0 = one per CPU, 1 = legacy serial; results are identical at any setting")
+	teleFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	tele, err := teleFlags.Start()
+	if err != nil {
+		log.Fatalf("prismtrain: %v", err)
+	}
+	if addr := tele.PprofAddr(); addr != "" {
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", addr)
+	}
 
 	g := sim.Long
 	if *gran == "short" {
@@ -58,4 +68,10 @@ func main() {
 	c := cells[0]
 	fmt.Printf("%s on %s: test RMSE %.4f (%d epochs, %v)\n",
 		c.Model, c.Dataset, c.RMSE, c.Epochs, c.TrainTime.Round(1e6))
+	if tele.Active() {
+		fmt.Println(tele.Summary())
+		if err := tele.Close(); err != nil {
+			log.Fatalf("prismtrain: %v", err)
+		}
+	}
 }

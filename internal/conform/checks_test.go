@@ -36,6 +36,7 @@ func TestChecksCoverPaperLaws(t *testing.T) {
 		"harmonic-mean-bound", "predictor-metrics-bounded",
 		"fault-severity-zero", "repair-clean-identity",
 		"seed-shift-stability", "scaling-homogeneity",
+		"telemetry-transparency",
 	} {
 		if !names[want] {
 			t.Errorf("missing check %q", want)

@@ -1,11 +1,14 @@
 package conform
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
 
+	"prism5g/internal/experiments"
 	"prism5g/internal/faults"
+	"prism5g/internal/obs"
 	"prism5g/internal/predictors"
 	"prism5g/internal/ran"
 	"prism5g/internal/sim"
@@ -20,7 +23,76 @@ func metamorphicChecks() []Check {
 		{Name: "repair-clean-identity", Figs: "trace layer", Run: checkRepairClean},
 		{Name: "seed-shift-stability", Figs: "sim layer", Run: checkSeedShift},
 		{Name: "scaling-homogeneity", Figs: "§6 baselines", Run: checkScalingHomogeneity},
+		{Name: "telemetry-transparency", Figs: "obs layer", Run: checkTelemetryTransparency},
 	}
+}
+
+// checkTelemetryTransparency: enabling telemetry must not perturb any
+// computed artifact — a sim.BuildReport dataset and a Table 4 cell
+// (TrainTime stripped, the one legitimately wall-clock output) must be
+// byte-identical with the registry off and on at the same seed, while the
+// enabled run must actually record the pipeline (nonzero sim, trace and
+// train counters — an inert registry would make the law vacuous).
+func checkTelemetryTransparency(c *Ctx) []Violation {
+	const name = "telemetry-transparency"
+	var out []Violation
+	simOpts := sim.BuildOpts{Traces: 2, SamplesPerTrace: 40, Seed: c.Cfg.Seed,
+		Modem: ran.ModemX70, Workers: c.Cfg.Workers}
+	mlCfg := experiments.MLConfig{
+		Traces: 3, SamplesPerTrace: 40, Stride: 3,
+		Hidden: 4, Epochs: 2, Patience: 2, Seed: c.Cfg.Seed,
+		Models:  []string{"LSTM"},
+		Workers: c.Cfg.Workers,
+	}
+	run := func() (dsJSON, t4JSON []byte, err error) {
+		ds, _ := sim.BuildReport(mlSpec(), simOpts)
+		dsJSON, err = json.Marshal(ds)
+		if err != nil {
+			return nil, nil, err
+		}
+		var rows []table4Row
+		for _, cell := range experiments.Table4Cell(mlSpec(), mlCfg) {
+			rows = append(rows, table4Row{
+				Dataset: cell.Dataset, Model: cell.Model,
+				RMSE: cell.RMSE, Epochs: cell.Epochs,
+			})
+		}
+		t4JSON, err = json.Marshal(rows)
+		return dsJSON, t4JSON, err
+	}
+	offDS, offT4, errOff := run()
+	reg := obs.New()
+	var journal bytes.Buffer
+	reg.SetJournal(obs.NewJournal(&journal))
+	prev := obs.SetDefault(reg)
+	onDS, onT4, errOn := run()
+	obs.SetDefault(prev)
+	if errOff != nil || errOn != nil {
+		return append(out, violate(name, "marshal", "artifacts must serialize",
+			fmt.Sprintf("%v / %v", errOff, errOn), "no error"))
+	}
+	if !bytes.Equal(offDS, onDS) {
+		out = append(out, violate(name, "dataset",
+			"enabling telemetry changed the generated dataset", "bytes differ", "byte-identical"))
+	}
+	if !bytes.Equal(offT4, onT4) {
+		out = append(out, violate(name, "table4",
+			"enabling telemetry changed the Table 4 cell", "bytes differ", "byte-identical"))
+	}
+	for _, counter := range []string{"sim.traces_built", "trace.windows_built", "train.epochs"} {
+		if reg.Counter(counter).Value() == 0 {
+			out = append(out, violate(name, counter,
+				"the enabled run must record the pipeline", 0, "> 0"))
+		}
+	}
+	if err := reg.Journal().Flush(); err != nil {
+		out = append(out, violate(name, "journal", "journal must flush", err, "no error"))
+	} else if evs, err := obs.ReadEvents(&journal); err != nil || len(evs) == 0 {
+		out = append(out, violate(name, "journal",
+			"the enabled run must journal events",
+			fmt.Sprintf("%d events, err %v", len(evs), err), "> 0 events, no error"))
+	}
+	return out
 }
 
 // checkFaultSeverityZero: a severity-0 fault plan must be indistinguishable

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"prism5g/internal/mobility"
+	"prism5g/internal/obs"
 	"prism5g/internal/par"
 	"prism5g/internal/phy"
 	"prism5g/internal/ran"
@@ -68,6 +69,7 @@ type CCScalingRow struct {
 // technology. CC depth is controlled by locking the k widest co-sited
 // channels.
 func Fig1IdealThroughputByCC(op spectrum.Operator, tech spectrum.Tech, seed uint64) []CCScalingRow {
+	defer obs.StartSpan("experiments.Fig1IdealThroughputByCC").End()
 	net, start := IdealStart(op, mobility.Urban, seed)
 	// Channels co-sited at the ideal site for this tech, widest first.
 	site, _ := net.Deploy.Nearest(start)
@@ -118,6 +120,7 @@ type ModesResult struct {
 // Fig2Multimodality reproduces Fig 2/24: driving throughput distributions
 // are multimodal because different areas offer different CA combos.
 func Fig2Multimodality(op spectrum.Operator, tech spectrum.Tech, seed uint64) ModesResult {
+	defer obs.StartSpan("experiments.Fig2Multimodality").End()
 	var all []float64
 	for i := 0; i < 4; i++ {
 		tr, _ := sim.Run(sim.RunConfig{
@@ -158,6 +161,7 @@ type CensusResult struct {
 // Table2ChannelCensus reproduces the channel/combination census of Tables
 // 1/2(b)/7 by driving all scenarios.
 func Table2ChannelCensus(op spectrum.Operator, seed uint64) CensusResult {
+	defer obs.StartSpan("experiments.Table2ChannelCensus").End()
 	res := CensusResult{Operator: op}
 	plan := spectrum.PlanFor(op)
 	for _, c := range plan.Channels {
@@ -233,6 +237,7 @@ type GridCell struct {
 // Fig4UrbanCAMap reproduces Fig 4: the spatial distribution of observed CC
 // counts over a ~1 km² urban area, on a 100 m grid.
 func Fig4UrbanCAMap(op spectrum.Operator, seed uint64) []GridCell {
+	defer obs.StartSpan("experiments.Fig4UrbanCAMap").End()
 	net := ran.NewNetwork(op, mobility.Urban, rng.New(seed))
 	type acc struct {
 		sum float64
@@ -289,6 +294,7 @@ type ComboViolinRow struct {
 // combos from 2 to 4 CCs, showing that equal aggregate bandwidth does not
 // mean equal performance.
 func Fig5ComboViolins(seed uint64) []ComboViolinRow {
+	defer obs.StartSpan("experiments.Fig5ComboViolins").End()
 	type comboSpec struct {
 		op   spectrum.Operator
 		lock []string
@@ -339,6 +345,7 @@ type AggregateVsSumResult struct {
 // Fig6AggregateVsSum reproduces Fig 6 with n41 and n25 measured alone and
 // aggregated at the same location.
 func Fig6AggregateVsSum(seed uint64) AggregateVsSumResult {
+	defer obs.StartSpan("experiments.Fig6AggregateVsSum").End()
 	net, start := IdealStart(spectrum.OpZ, mobility.Urban, seed)
 	trA, stA := idealRun(net, start, spectrum.OpZ, spectrum.NR, ran.ModemX70, []string{"n41^a"}, seed+1)
 	trB, stB := idealRun(net, start, spectrum.OpZ, spectrum.NR, ran.ModemX70, []string{"n25^a"}, seed+2)
@@ -371,6 +378,7 @@ type TransitionTraceResult struct {
 // Fig7TransitionTrace reproduces Fig 7: a 120 s urban driving segment where
 // CC changes move throughput by hundreds of Mbps within a second.
 func Fig7TransitionTrace(seed uint64) TransitionTraceResult {
+	defer obs.StartSpan("experiments.Fig7TransitionTrace").End()
 	tr, st := sim.Run(sim.RunConfig{
 		Operator: spectrum.OpZ, Scenario: mobility.Urban, Mobility: mobility.Driving,
 		Modem: ran.ModemX70, Tech: spectrum.NR, DurationS: 120, StepS: 0.1, Seed: seed,
@@ -403,6 +411,7 @@ type TBSRow struct {
 // Fig9TBSMapping reproduces Fig 9: TBS as a function of MCS and allocated
 // symbols at 2 MIMO layers over a full 100 MHz carrier.
 func Fig9TBSMapping() []TBSRow {
+	defer obs.StartSpan("experiments.Fig9TBSMapping").End()
 	nRB, _ := phy.NumRB(true, 30, 100)
 	var rows []TBSRow
 	for _, mcs := range []int{0, 4, 9, 14, 19, 23, 27} {
@@ -428,6 +437,7 @@ type EfficiencyRow struct {
 // of five channels across low/mid/high bands under the best channel
 // condition (top MCS, full allocation).
 func Fig10SpectralEfficiency() []EfficiencyRow {
+	defer obs.StartSpan("experiments.Fig10SpectralEfficiency").End()
 	top := phy.MCSTable256QAM[len(phy.MCSTable256QAM)-1]
 	type chSpec struct {
 		name string
@@ -473,6 +483,7 @@ type CorrelationResult struct {
 // are strong everywhere, but cross-CC correlations collapse for inter-band
 // combos.
 func Fig11to13Correlations(seed uint64) []CorrelationResult {
+	defer obs.StartSpan("experiments.Fig11to13Correlations").End()
 	cases := []struct {
 		kind string
 		lock []string
@@ -532,6 +543,7 @@ type CCConditioningRow struct {
 // Fig14MIMOReduction reproduces Fig 14: the n25 channel alone vs inside a
 // 3CC combo — similar RSRP/CQI, collapsed MIMO, roughly halved throughput.
 func Fig14MIMOReduction(seed uint64) []CCConditioningRow {
+	defer obs.StartSpan("experiments.Fig14MIMOReduction").End()
 	net, start := IdealStart(spectrum.OpZ, mobility.Urban, seed)
 	alone, _ := idealRun(net, start, spectrum.OpZ, spectrum.NR, ran.ModemX70, []string{"n25^a"}, seed+1)
 	ca, _ := idealRun(net, start, spectrum.OpZ, spectrum.NR, ran.ModemX70,
@@ -545,6 +557,7 @@ func Fig14MIMOReduction(seed uint64) []CCConditioningRow {
 // Fig15RBThrottling reproduces Fig 15: the same n41 SCell in different
 // combos gets different RB shares.
 func Fig15RBThrottling(seed uint64) []CCConditioningRow {
+	defer obs.StartSpan("experiments.Fig15RBThrottling").End()
 	net, start := IdealStart(spectrum.OpZ, mobility.Urban, seed)
 	intra, _ := idealRun(net, start, spectrum.OpZ, spectrum.NR, ran.ModemX70,
 		[]string{"n41^a", "n41^b"}, seed+1)
@@ -594,6 +607,7 @@ type PrevalenceRow struct {
 // Fig25DrivingPrevalence reproduces Figs 25/26 for one operator. The three
 // scenario drives are independent seeded runs and execute concurrently.
 func Fig25DrivingPrevalence(op spectrum.Operator, seed uint64) []PrevalenceRow {
+	defer obs.StartSpan("experiments.Fig25DrivingPrevalence").End()
 	scenarios := []mobility.Scenario{mobility.Urban, mobility.Suburban, mobility.Beltway}
 	return par.MustMap(context.Background(), len(scenarios), 0, func(i int) PrevalenceRow {
 		sc := scenarios[i]
@@ -637,6 +651,7 @@ type IndoorResult struct {
 // Fig27IndoorCoverage reproduces Figs 27/28: locking out the n71 low band
 // degrades indoor 5G coverage and throughput for OpZ.
 func Fig27IndoorCoverage(seed uint64) IndoorResult {
+	defer obs.StartSpan("experiments.Fig27IndoorCoverage").End()
 	run := func(lock []string) (trace.Trace, sim.RunStats) {
 		return sim.Run(sim.RunConfig{
 			Operator: spectrum.OpZ, Scenario: mobility.Indoor, Mobility: mobility.Walking,
@@ -699,6 +714,7 @@ type UECapabilityRow struct {
 // CA and higher throughput on the identical walk. The per-modem runs share
 // the seed but nothing mutable, so they execute concurrently.
 func Fig29UECapability(seed uint64) []UECapabilityRow {
+	defer obs.StartSpan("experiments.Fig29UECapability").End()
 	modems := []ran.Modem{ran.ModemX50, ran.ModemX60, ran.ModemX65, ran.ModemX70}
 	return par.MustMap(context.Background(), len(modems), 0, func(i int) UECapabilityRow {
 		m := modems[i]
@@ -734,6 +750,7 @@ type TemporalRow struct {
 // Table8TemporalDynamics reproduces Tables 8/9/10: signal strength is
 // stable across times of day while the RB share shrinks at rush hour.
 func Table8TemporalDynamics(seed uint64) []TemporalRow {
+	defer obs.StartSpan("experiments.Table8TemporalDynamics").End()
 	_, start := IdealStart(spectrum.OpZ, mobility.Urban, seed)
 	var rows []TemporalRow
 	for _, tod := range []struct {

@@ -10,6 +10,7 @@ import (
 	"prism5g/internal/core"
 	"prism5g/internal/ml"
 	"prism5g/internal/mobility"
+	"prism5g/internal/obs"
 	"prism5g/internal/par"
 	"prism5g/internal/predictors"
 	"prism5g/internal/ran"
@@ -171,6 +172,7 @@ type CellResult struct {
 // The models are independent given the shared (read-only) problem, so they
 // train concurrently behind predictors.TrainAll; results keep model order.
 func Table4Cell(spec sim.SubDatasetSpec, cfg MLConfig) []CellResult {
+	defer obs.StartSpan("experiments.Table4Cell").End()
 	prob := BuildProblem(spec, cfg)
 	names := cfg.modelNames()
 	models := make([]predictors.Predictor, len(names))
@@ -205,6 +207,7 @@ type Table4Result struct {
 // cell derives all randomness from cfg.Seed and the grid is assembled in
 // sub-dataset order, so the result is byte-identical at any worker count.
 func Table4(gran sim.Granularity, cfg MLConfig) Table4Result {
+	defer obs.StartSpan("experiments.Table4").End()
 	res := Table4Result{Gran: gran}
 	specs := sim.AllSubDatasets(gran)
 	cells := par.MustMap(context.Background(), len(specs), cfg.Workers, func(i int) []CellResult {
@@ -290,6 +293,7 @@ type AblationResult struct {
 // Table13Ablation reproduces Table 13 on one sub-dataset; the three model
 // variants train concurrently.
 func Table13Ablation(spec sim.SubDatasetSpec, cfg MLConfig) AblationResult {
+	defer obs.StartSpan("experiments.Table13Ablation").End()
 	prob := BuildProblem(spec, cfg)
 	names := []string{"Prism5G", "Prism5G-NoState", "Prism5G-NoFusion"}
 	rmses := par.MustMap(context.Background(), len(names), cfg.Workers, func(i int) float64 {
@@ -314,6 +318,7 @@ type GeneralizabilityResult struct {
 // Table14Generalizability reproduces Table 14 on the OpZ walking long-scale
 // sub-dataset: (1) same route, different runs; (2) new routes.
 func Table14Generalizability(cfg MLConfig) []GeneralizabilityResult {
+	defer obs.StartSpan("experiments.Table14Generalizability").End()
 	spec := sim.SubDatasetSpec{Operator: "OpZ", Mobility: mobility.Walking, Gran: sim.Long}
 	prob := BuildProblem(spec, cfg)
 	models := cfg.modelNames()
@@ -374,6 +379,7 @@ type SeriesResult struct {
 // trace, recording the first predicted point of each horizon window (the
 // paper's visualization protocol).
 func Fig17PredictionSeries(spec sim.SubDatasetSpec, cfg MLConfig) SeriesResult {
+	defer obs.StartSpan("experiments.Fig17PredictionSeries").End()
 	prob := BuildProblem(spec, cfg)
 	res := SeriesResult{Dataset: spec.Name(), Pred: map[string][]float64{}}
 	// Train on everything except the last two traces; replay those (two
@@ -471,6 +477,7 @@ type RuntimeResult struct {
 // RuntimeComparison measures Prism5G vs LSTM training and inference cost
 // (the paper reports +34.1% training, +23.2% inference, <1 ms/sample).
 func RuntimeComparison(cfg MLConfig) []RuntimeResult {
+	defer obs.StartSpan("experiments.RuntimeComparison").End()
 	spec := sim.SubDatasetSpec{Operator: "OpZ", Mobility: mobility.Driving, Gran: sim.Long}
 	prob := BuildProblem(spec, cfg)
 	var out []RuntimeResult

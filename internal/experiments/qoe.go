@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"prism5g/internal/mobility"
+	"prism5g/internal/obs"
 	"prism5g/internal/predictors"
 	"prism5g/internal/qoe"
 	"prism5g/internal/ran"
@@ -35,6 +36,7 @@ type ViVoCAImpactResult struct {
 // variability makes the bandwidth-adaptive XR application comparatively
 // worse off against its own ideal baseline.
 func Fig8ViVoCAImpact(seed uint64, runs int) ViVoCAImpactResult {
+	defer obs.StartSpan("experiments.Fig8ViVoCAImpact").End()
 	var res ViVoCAImpactResult
 	var noCAStats, fourCCStats stats.Welford
 	for r := 0; r < runs; r++ {
@@ -97,6 +99,7 @@ type ViVoPredictorRow struct {
 // Prism5G vs the ideal oracle. Models are trained on the short-granularity
 // driving sub-dataset and evaluated on held-out traces.
 func Fig19ViVoPredictors(cfg MLConfig) []ViVoPredictorRow {
+	defer obs.StartSpan("experiments.Fig19ViVoPredictors").End()
 	// ViVo sessions need tens of seconds of 10 ms trace, so this
 	// experiment builds its own longer-trace variant of the short
 	// sub-dataset, trains on the early traces and streams over the
@@ -187,6 +190,7 @@ type ABRPredictorRow struct {
 // stock harmonic-mean estimator vs Prophet, LSTM and Prism5G forecasts,
 // including the stall-time tail statistics.
 func Fig20ABRPredictors(cfg MLConfig, sessions int) []ABRPredictorRow {
+	defer obs.StartSpan("experiments.Fig20ABRPredictors").End()
 	spec := sim.SubDatasetSpec{Operator: spectrum.OpZ, Mobility: mobility.Driving, Gran: sim.Long}
 	prob := BuildProblem(spec, cfg)
 	names := []string{"Prophet", "LSTM", "Prism5G"}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"prism5g/internal/faults"
+	"prism5g/internal/obs"
 	"prism5g/internal/par"
 	"prism5g/internal/predictors"
 	"prism5g/internal/ran"
@@ -117,6 +118,7 @@ func robustnessModels(cfg MLConfig) []string {
 // the clean row once every row has finished, keeping the table
 // byte-identical to the serial sweep at any worker count.
 func RobustnessSweep(spec sim.SubDatasetSpec, severities []float64, cfg MLConfig) *RobustnessResult {
+	defer obs.StartSpan("experiments.RobustnessSweep").End()
 	if len(severities) == 0 {
 		severities = DefaultSeverities()
 	}

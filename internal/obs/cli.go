@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Flags is the standard telemetry flag set every CLI in this repository
+// shares: -metrics, -journal and -pprof. All default to off; supplying any
+// of them enables the process-global registry for the run.
+type Flags struct {
+	Metrics string
+	Journal string
+	Pprof   string
+}
+
+// BindFlags registers the telemetry flags on fs (flag.CommandLine in the
+// CLIs) and returns the destination struct to Start after fs is parsed.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Metrics, "metrics", "", "write a JSON metrics snapshot to this file at exit (enables telemetry)")
+	fs.StringVar(&f.Journal, "journal", "", "stream the JSON-lines event journal to this file (enables telemetry)")
+	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (enables telemetry)")
+	return f
+}
+
+// CLI is one activated telemetry session. The zero/nil value (returned
+// when no flag was given) is inert: Active is false and Close/Summary are
+// safe no-ops, so callers need no branching.
+type CLI struct {
+	flags       Flags
+	start       time.Time
+	metricsFile string
+	journalFile *os.File
+	journal     *Journal
+	pprofLn     net.Listener
+}
+
+// Start activates telemetry per the parsed flags. With no flag set it
+// returns (nil, nil) and the default registry stays disabled — the
+// zero-overhead path. Otherwise it enables the Default registry, attaches
+// the journal sink and starts the pprof server.
+func (f *Flags) Start() (*CLI, error) {
+	if f == nil || (f.Metrics == "" && f.Journal == "" && f.Pprof == "") {
+		return nil, nil
+	}
+	c := &CLI{flags: *f, start: time.Now(), metricsFile: f.Metrics}
+	r := Default()
+	if f.Journal != "" {
+		jf, err := os.Create(f.Journal)
+		if err != nil {
+			return nil, fmt.Errorf("obs: create journal: %w", err)
+		}
+		c.journalFile = jf
+		c.journal = NewJournal(jf)
+		r.SetJournal(c.journal)
+	}
+	if f.Pprof != "" {
+		ln, err := net.Listen("tcp", f.Pprof)
+		if err != nil {
+			c.cleanup()
+			return nil, fmt.Errorf("obs: pprof listen: %w", err)
+		}
+		c.pprofLn = ln
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln) //nolint:errcheck // dies with the process
+	}
+	r.SetEnabled(true)
+	return c, nil
+}
+
+// Active reports whether telemetry was enabled (nil receivers are inert).
+func (c *CLI) Active() bool { return c != nil }
+
+// PprofAddr returns the bound pprof address ("" when not serving); with
+// ":0" in the flag this is how callers learn the real port.
+func (c *CLI) PprofAddr() string {
+	if c == nil || c.pprofLn == nil {
+		return ""
+	}
+	return c.pprofLn.Addr().String()
+}
+
+func (c *CLI) cleanup() {
+	if c.journalFile != nil {
+		Default().SetJournal(nil)
+		c.journal.Flush() //nolint:errcheck // best effort on the error path
+		c.journalFile.Close()
+		c.journalFile = nil
+	}
+	if c.pprofLn != nil {
+		c.pprofLn.Close()
+		c.pprofLn = nil
+	}
+}
+
+// Close ends the session: writes the metrics snapshot (if requested),
+// flushes and detaches the journal, stops the pprof listener and disables
+// the default registry again. Safe on nil and safe to call once at exit.
+func (c *CLI) Close() error {
+	if c == nil {
+		return nil
+	}
+	var firstErr error
+	if c.metricsFile != "" {
+		mf, err := os.Create(c.metricsFile)
+		if err == nil {
+			if err = Default().WriteJSON(mf); err == nil {
+				err = mf.Close()
+			} else {
+				mf.Close()
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("obs: write metrics: %w", err)
+		}
+	}
+	if c.journal != nil {
+		if err := c.journal.Flush(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("obs: flush journal: %w", err)
+		}
+	}
+	Default().SetEnabled(false)
+	c.cleanup()
+	return firstErr
+}
+
+// Summary renders the one-line run summary the CLIs print: elapsed time,
+// traces and windows per second (from the pipeline counters) and peak
+// memory obtained from the OS per runtime.MemStats.
+func (c *CLI) Summary() string {
+	if c == nil {
+		return ""
+	}
+	elapsed := time.Since(c.start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	r := Default()
+	traces := r.Counter("sim.traces_built").Value()
+	windows := r.Counter("trace.windows_built").Value()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return fmt.Sprintf("telemetry: %.1fs elapsed, %.1f traces/s (%d), %.0f windows/s (%d), peak mem %.0f MiB",
+		elapsed, float64(traces)/elapsed, traces,
+		float64(windows)/elapsed, windows,
+		float64(ms.Sys)/(1<<20))
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLILifecycle drives the full flag path: parse, start, record, close,
+// then check the metrics snapshot and journal landed on disk and the
+// default registry is disabled again.
+func TestCLILifecycle(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m.json")
+	journal := filepath.Join(dir, "j.jsonl")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := BindFlags(fs)
+	if err := fs.Parse([]string{"-metrics", metrics, "-journal", journal}); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cli.Active() {
+		t.Fatal("CLI must be active when flags are set")
+	}
+	if !Enabled() {
+		t.Fatal("Start must enable the default registry")
+	}
+	Add("sim.traces_built", 4)
+	Add("trace.windows_built", 40)
+	Emit("test.ev", map[string]any{"k": 1})
+	sum := cli.Summary()
+	if !strings.Contains(sum, "traces/s") || !strings.Contains(sum, "MiB") {
+		t.Fatalf("summary missing rates or memory: %q", sum)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("Close must disable the default registry")
+	}
+
+	b, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("metrics file must be a valid snapshot: %v", err)
+	}
+	if snap.Counters["sim.traces_built"] != 4 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	jf, err := os.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	evs, err := ReadEvents(jf)
+	if err != nil || len(evs) != 1 || evs[0].Name != "test.ev" {
+		t.Fatalf("journal = %v, %v", evs, err)
+	}
+}
+
+// TestCLINoFlagsIsInert pins the default: no flags, no telemetry, nil CLI
+// that is safe to use.
+func TestCLINoFlagsIsInert(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := BindFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cli.Active() {
+		t.Fatal("CLI must be inert without flags")
+	}
+	if Enabled() {
+		t.Fatal("registry must stay disabled without flags")
+	}
+	if err := cli.Close(); err != nil { // nil receiver path
+		t.Fatal(err)
+	}
+	if s := cli.Summary(); s != "" {
+		t.Fatalf("inert summary = %q", s)
+	}
+}
+
+// TestCLIPprof starts the profiling server on an ephemeral port and fetches
+// an index page from it.
+func TestCLIPprof(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := BindFlags(fs)
+	if err := fs.Parse([]string{"-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := f.Start()
+	if err != nil {
+		t.Skipf("cannot listen in this environment: %v", err)
+	}
+	defer cli.Close()
+	addr := cli.PprofAddr()
+	if addr == "" {
+		t.Fatal("pprof address must be reported")
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof fetch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+}

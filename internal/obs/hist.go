@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefaultBounds returns the default histogram bucket upper bounds: a
+// 1-2-5 decade ladder from 1 µs to 10 ks. The layout suits the dominant
+// use — durations in seconds — while staying serviceable for small counts
+// and rates; callers with very different ranges pass their own bounds to
+// HistogramWithBounds.
+func DefaultBounds() []float64 {
+	var out []float64
+	for exp := -6; exp <= 4; exp++ {
+		base := math.Pow(10, float64(exp))
+		for _, m := range []float64{1, 2, 5} {
+			out = append(out, m*base)
+		}
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket histogram with lock-free observation. The
+// bucket layout is immutable after creation; counts, sum and min/max are
+// maintained with atomics, so Observe is safe from any goroutine and the
+// snapshot is a consistent-enough view for monitoring (individual fields
+// are read atomically, not as one transaction).
+type Histogram struct {
+	on      *atomic.Bool
+	bounds  []float64 // ascending upper bounds; len(buckets) = len(bounds)+1
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+func newHistogram(on *atomic.Bool, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBounds()
+	} else {
+		bounds = append([]float64(nil), bounds...)
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic("obs: histogram bounds must be strictly ascending")
+			}
+		}
+	}
+	h := &Histogram{
+		on:      on,
+		bounds:  bounds,
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value; a single atomic load when disabled. NaN is
+// ignored (a NaN observation would poison sum and quantiles).
+func (h *Histogram) Observe(v float64) {
+	if !h.on.Load() || math.IsNaN(v) {
+		return
+	}
+	h.buckets[h.bucketOf(v)].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sumBits, v)
+	atomicMinFloat(&h.minBits, v)
+	atomicMaxFloat(&h.maxBits, v)
+}
+
+// bucketOf returns the index of the bucket v falls into (binary search
+// over the upper bounds; the last bucket is the +Inf overflow).
+func (h *Histogram) bucketOf(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// HistSnapshot is the serializable state of one histogram.
+type HistSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram: count, sum, mean, min/max and
+// estimated p50/p90/p99.
+func (h *Histogram) Snapshot() HistSnapshot {
+	counts := make([]uint64, len(h.buckets))
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistSnapshot{Count: total}
+	if total == 0 {
+		return s
+	}
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	s.Mean = s.Sum / float64(total)
+	s.Min = math.Float64frombits(h.minBits.Load())
+	s.Max = math.Float64frombits(h.maxBits.Load())
+	s.P50 = h.quantile(counts, total, 0.50, s.Min, s.Max)
+	s.P90 = h.quantile(counts, total, 0.90, s.Min, s.Max)
+	s.P99 = h.quantile(counts, total, 0.99, s.Min, s.Max)
+	return s
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts,
+// interpolating linearly inside the containing bucket and clamping to the
+// observed min/max — the standard fixed-bucket estimator, accurate to the
+// bucket resolution.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := make([]uint64, len(h.buckets))
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	min := math.Float64frombits(h.minBits.Load())
+	max := math.Float64frombits(h.maxBits.Load())
+	return h.quantile(counts, total, q, min, max)
+}
+
+func (h *Histogram) quantile(counts []uint64, total uint64, q, min, max float64) float64 {
+	if q <= 0 {
+		return min
+	}
+	if q >= 1 {
+		return max
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			// Interpolate within bucket i. Bucket bounds: (lower, upper].
+			lower := math.Inf(-1)
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := math.Inf(1)
+			if i < len(h.bounds) {
+				upper = h.bounds[i]
+			}
+			// Clamp the open ends to what was actually observed.
+			if lower < min || math.IsInf(lower, -1) {
+				lower = min
+			}
+			if upper > max || math.IsInf(upper, 1) {
+				upper = max
+			}
+			frac := (rank - cum) / float64(c)
+			return lower + frac*(upper-lower)
+		}
+		cum = next
+	}
+	return max
+}
+
+// atomicAddFloat accumulates delta into a float64 stored as bits.
+func atomicAddFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+func atomicMinFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func atomicMaxFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

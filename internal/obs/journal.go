@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured journal record. Fields are flattened next to the
+// reserved keys on the wire:
+//
+//	{"ts":"2026-08-06T12:00:00.000000001Z","ev":"train.epoch","epoch":3,...}
+//
+// Timestamps are wall-clock and therefore nondeterministic — journals are
+// operator artifacts, never experiment artifacts, which is how the
+// determinism guarantee survives (DESIGN.md §11).
+type Event struct {
+	TS     time.Time      `json:"ts"`
+	Name   string         `json:"ev"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Journal streams events as JSON lines to a writer. Writes are serialized
+// with a mutex and buffered; call Flush (or Close via the CLI helper) to
+// drain the buffer.
+type Journal struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error // first write error; later events are dropped
+	now func() time.Time
+}
+
+// NewJournal wraps w in a buffered JSON-lines event sink.
+func NewJournal(w io.Writer) *Journal {
+	bw := bufio.NewWriter(w)
+	return &Journal{bw: bw, enc: json.NewEncoder(bw), now: time.Now}
+}
+
+// wireEvent is the flattened on-disk form: reserved keys plus the event's
+// own fields at top level. A map keeps encoding/json's key sorting, so
+// lines are stable up to values.
+type wireEvent map[string]any
+
+// Write appends one event line. Errors are sticky and silent (telemetry
+// must never take down the pipeline); Flush reports the first one.
+func (j *Journal) Write(name string, fields map[string]any) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	ev := wireEvent{"ts": j.now().UTC().Format(time.RFC3339Nano), "ev": name}
+	for k, v := range fields {
+		if k != "ts" && k != "ev" {
+			ev[k] = v
+		}
+	}
+	if err := j.enc.Encode(ev); err != nil {
+		j.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first write error, if any.
+func (j *Journal) Flush() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.bw.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// SetJournal attaches (or, with nil, detaches) the registry's event sink.
+// It returns the previous journal so callers can restore it.
+func (r *Registry) SetJournal(j *Journal) *Journal {
+	if j == nil {
+		return r.journal.Swap(nil)
+	}
+	return r.journal.Swap(j)
+}
+
+// Journal returns the attached event sink, or nil.
+func (r *Registry) Journal() *Journal { return r.journal.Load() }
+
+// Emit writes one event to the attached journal; a no-op while the
+// registry is disabled or no journal is attached.
+func (r *Registry) Emit(event string, fields map[string]any) {
+	if !r.Enabled() {
+		return
+	}
+	r.journal.Load().Write(event, fields)
+}
+
+// ReadEvents parses a JSON-lines journal back into events — the round-trip
+// half used by tests and analysis tooling. Unknown top-level keys become
+// Fields entries; malformed lines abort with the error.
+func ReadEvents(rd io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(rd)
+	for dec.More() {
+		var raw map[string]any
+		if err := dec.Decode(&raw); err != nil {
+			return out, err
+		}
+		var ev Event
+		if s, ok := raw["ts"].(string); ok {
+			if t, err := time.Parse(time.RFC3339Nano, s); err == nil {
+				ev.TS = t
+			}
+		}
+		ev.Name, _ = raw["ev"].(string)
+		for k, v := range raw {
+			if k == "ts" || k == "ev" {
+				continue
+			}
+			if ev.Fields == nil {
+				ev.Fields = map[string]any{}
+			}
+			ev.Fields[k] = v
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

@@ -29,6 +29,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"prism5g/internal/obs"
 )
 
 // PanicError wraps a panic recovered from a task.
@@ -53,6 +56,72 @@ func Workers(n int) int {
 	return n
 }
 
+// poolTelemetry carries per-pool observability state. A nil pointer (the
+// telemetry-disabled path, and the common case) makes every method a
+// no-op, so the worker loop stays free of clock reads unless a CLI asked
+// for metrics. Metric names: par.tasks / par.panics counters, par.task_s /
+// par.task_wait_s duration histograms and par.utilization (busy worker
+// time over wall time x workers, one observation per pool).
+type poolTelemetry struct {
+	r       *obs.Registry
+	workers int
+	start   time.Time
+	busyNS  atomic.Int64
+}
+
+func newPoolTelemetry(workers int) *poolTelemetry {
+	r := obs.Default()
+	if !r.Enabled() {
+		return nil
+	}
+	return &poolTelemetry{r: r, workers: workers, start: time.Now()}
+}
+
+// taskStart records queue wait (pool start -> task pickup) and returns the
+// task's start time.
+func (t *poolTelemetry) taskStart() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	now := time.Now()
+	t.r.Observe("par.task_wait_s", now.Sub(t.start).Seconds())
+	return now
+}
+
+func (t *poolTelemetry) taskEnd(t0 time.Time) {
+	if t == nil {
+		return
+	}
+	d := time.Since(t0)
+	t.busyNS.Add(int64(d))
+	t.r.Observe("par.task_s", d.Seconds())
+	t.r.Add("par.tasks", 1)
+}
+
+func (t *poolTelemetry) taskPanicked() {
+	if t == nil {
+		return
+	}
+	t.r.Add("par.panics", 1)
+}
+
+// finish observes pool-level utilization: the fraction of worker capacity
+// that ran tasks. 1.0 means every worker was busy the whole time.
+func (t *poolTelemetry) finish(n int) {
+	if t == nil {
+		return
+	}
+	elapsed := time.Since(t.start).Seconds()
+	if elapsed > 0 && t.workers > 0 {
+		util := (time.Duration(t.busyNS.Load()).Seconds()) / (elapsed * float64(t.workers))
+		t.r.Observe("par.utilization", util)
+		t.r.Emit("par.pool", map[string]any{
+			"tasks": n, "workers": t.workers, "wall_s": elapsed, "utilization": util,
+		})
+	}
+	t.r.Add("par.pools", 1)
+}
+
 // ForEach runs fn(0..n-1) on at most workers goroutines and waits for all
 // of them. It returns the error of the lowest failing task index, or
 // ctx.Err() if the context was cancelled before every task was dispatched.
@@ -67,12 +136,14 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if w > n {
 		w = n
 	}
+	tele := newPoolTelemetry(w)
+	defer tele.finish(n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := runTask(i, fn); err != nil {
+			if err := runTask(i, fn, tele); err != nil {
 				return err
 			}
 		}
@@ -94,7 +165,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := runTask(i, fn); err != nil {
+				if err := runTask(i, fn, tele); err != nil {
 					errs[i] = err
 					stopped.Store(true)
 					return
@@ -112,11 +183,14 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 }
 
 // runTask invokes fn(i) converting a panic into a *PanicError.
-func runTask(i int, fn func(i int) error) (err error) {
+func runTask(i int, fn func(i int) error, tele *poolTelemetry) (err error) {
+	t0 := tele.taskStart()
 	defer func() {
 		if p := recover(); p != nil {
 			err = &PanicError{Task: i, Value: p, Stack: debug.Stack()}
+			tele.taskPanicked()
 		}
+		tele.taskEnd(t0)
 	}()
 	return fn(i)
 }

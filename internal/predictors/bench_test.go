@@ -1,0 +1,31 @@
+package predictors
+
+import (
+	"testing"
+
+	"prism5g/internal/rng"
+	"prism5g/internal/trace"
+)
+
+// BenchmarkTrainLoop measures the shared Adam training loop end to end on
+// the synthetic learnable dataset: LSTM forward/backward passes, batching,
+// validation evaluation and early stopping. Paired with BENCH_obs.json via
+// scripts/benchjson.sh, it tracks the cost of the per-epoch telemetry.
+func BenchmarkTrainLoop(b *testing.B) {
+	ds := synthDataset(4, 120, 1)
+	sc := &trace.Scaler{}
+	sc.Fit(ds.Traces)
+	ws := trace.Windows(ds, sc, trace.WindowOpts{History: 10, Horizon: 5, Stride: 2})
+	train, val, _ := trace.Split(ws, 0.6, 0.2, rng.New(1))
+	opts := TrainOpts{Epochs: 5, Batch: 64, LR: 0.01, Patience: 5, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh model each iteration: TrainLoop mutates the weights.
+		p := NewLSTMPredictor(8, 5, opts)
+		rep := TrainLoop(p, train, val, opts)
+		if rep.Epochs == 0 {
+			b.Fatal("training ran no epochs")
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"prism5g/internal/nn"
+	"prism5g/internal/obs"
 	"prism5g/internal/rng"
 	"prism5g/internal/stats"
 	"prism5g/internal/trace"
@@ -29,12 +30,30 @@ type Predictor interface {
 	Predict(w trace.Window) []float64
 }
 
+// EpochStat records one training epoch of TrainLoop: the running train
+// RMSE over the epoch's mini-batches (evaluated at the evolving weights,
+// i.e. the usual "training loss" curve), the validation RMSE after the
+// epoch, the learning rate in effect (changes across divergence retries),
+// the gradient L2 norm at the epoch's last batch (read before the Adam
+// step zeroes the accumulators) and the epoch's wall time.
+type EpochStat struct {
+	Epoch     int
+	TrainRMSE float64
+	ValRMSE   float64
+	LR        float64
+	GradNorm  float64
+	Duration  time.Duration
+}
+
 // TrainReport summarizes a training run.
 type TrainReport struct {
 	Epochs    int
 	TrainRMSE float64
 	ValRMSE   float64
 	Duration  time.Duration
+	// EpochStats holds one entry per epoch actually run, across all
+	// divergence retries (Epoch numbers keep counting through rollbacks).
+	EpochStats []EpochStat
 	// Retries counts divergence recoveries: the loop restored the best
 	// (or initial) weights and restarted Adam at a backed-off LR.
 	Retries int
@@ -231,6 +250,7 @@ func TrainLoop(m SeqModel, train, val []trace.Window, opts TrainOpts) TrainRepor
 		opts.DivergeFactor = 50
 	}
 	start := time.Now()
+	sp := obs.StartSpan("train.loop")
 	train, _ = FilterValid(train)
 	val, _ = FilterValid(val)
 	src := rng.New(opts.Seed ^ 0xfeed)
@@ -261,13 +281,18 @@ func TrainLoop(m SeqModel, train, val []trace.Window, opts TrainOpts) TrainRepor
 		order[i] = i
 	}
 	lr := opts.LR
+	var epochStats []EpochStat
 	for attempt := 0; ; attempt++ {
 		opt := nn.NewAdam(m.Params(), lr)
 		badEpochs := 0
 		diverged = false
 		for ep := 0; ep < opts.Epochs; ep++ {
 			epochs++
+			epStart := time.Now()
 			src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			var trainSE float64
+			trainN := 0
+			gradN := math.NaN()
 			for bi := 0; bi < len(order); bi += opts.Batch {
 				end := bi + opts.Batch
 				if end > len(order) {
@@ -275,13 +300,38 @@ func TrainLoop(m SeqModel, train, val []trace.Window, opts TrainOpts) TrainRepor
 				}
 				scale := 1.0 / float64(end-bi)
 				for _, wi := range order[bi:end] {
-					m.ForwardBackward(train[wi], scale)
+					y := m.ForwardBackward(train[wi], scale)
+					for i := range y {
+						d := y[i] - train[wi].Y[i]
+						trainSE += d * d
+						trainN++
+					}
+				}
+				if end == len(order) {
+					// Last batch of the epoch: read the gradient norm now,
+					// before Adam's Step zeroes the accumulators.
+					gradN = gradNorm(m.Params())
 				}
 				opt.Step()
 			}
 			v := evalSet(val)
 			if math.IsNaN(v) && len(train) > 0 {
 				v = evalSet(train)
+			}
+			epTrain := math.NaN()
+			if trainN > 0 {
+				epTrain = math.Sqrt(trainSE / float64(trainN))
+			}
+			es := EpochStat{Epoch: epochs, TrainRMSE: epTrain, ValRMSE: v,
+				LR: lr, GradNorm: gradN, Duration: time.Since(epStart)}
+			epochStats = append(epochStats, es)
+			if r := obs.Default(); r.Enabled() {
+				r.Add("train.epochs", 1)
+				r.Observe("train.epoch_s", es.Duration.Seconds())
+				r.Emit("train.epoch", map[string]any{
+					"epoch": es.Epoch, "train_rmse": es.TrainRMSE, "val_rmse": es.ValRMSE,
+					"lr": es.LR, "grad_norm": es.GradNorm, "dur_s": es.Duration.Seconds(),
+				})
 			}
 			if len(train) > 0 && (!finite(v) || (finite(bestVal) && v > opts.DivergeFactor*bestVal)) {
 				diverged = true
@@ -310,6 +360,12 @@ func TrainLoop(m SeqModel, train, val []trace.Window, opts TrainOpts) TrainRepor
 			restore(m.Params(), initW)
 		}
 		lr *= opts.LRBackoff
+		if r := obs.Default(); r.Enabled() {
+			r.Add("train.rollbacks", 1)
+			r.Emit("train.rollback", map[string]any{
+				"attempt": attempt + 1, "next_lr": lr, "best_val": bestVal,
+			})
+		}
 	}
 	if bestW != nil {
 		restore(m.Params(), bestW)
@@ -318,14 +374,27 @@ func TrainLoop(m SeqModel, train, val []trace.Window, opts TrainOpts) TrainRepor
 		// known state, and at least its forward pass is finite.
 		restore(m.Params(), initW)
 	}
+	sp.EndWith(map[string]any{"epochs": epochs, "retries": retries, "diverged": diverged})
 	return TrainReport{
-		Epochs:    epochs,
-		TrainRMSE: evalSet(train),
-		ValRMSE:   bestVal,
-		Duration:  time.Since(start),
-		Retries:   retries,
-		Diverged:  diverged,
+		Epochs:     epochs,
+		TrainRMSE:  evalSet(train),
+		ValRMSE:    bestVal,
+		Duration:   time.Since(start),
+		EpochStats: epochStats,
+		Retries:    retries,
+		Diverged:   diverged,
 	}
+}
+
+// gradNorm returns the L2 norm over every parameter gradient accumulator.
+func gradNorm(ps []*nn.Param) float64 {
+	var s float64
+	for _, p := range ps {
+		for _, g := range p.Grad {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
 }
 
 func snapshot(ps []*nn.Param) [][]float64 {

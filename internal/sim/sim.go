@@ -13,6 +13,7 @@ import (
 
 	"prism5g/internal/faults"
 	"prism5g/internal/mobility"
+	"prism5g/internal/obs"
 	"prism5g/internal/par"
 	"prism5g/internal/ran"
 	"prism5g/internal/rng"
@@ -98,7 +99,13 @@ type RunStats struct {
 const eventHold = 0.3
 
 // Run executes one measurement run and returns its trace and statistics.
+//
+// Telemetry (when the obs default registry is enabled): one
+// "sim.trace_build" span per run plus the sim.* counters. None of it
+// feeds back into the simulation — the trace is byte-identical with
+// telemetry on or off (the conform telemetry-transparency law).
 func Run(cfg RunConfig) (trace.Trace, RunStats) {
+	sp := obs.StartSpan("sim.trace_build")
 	cfg.defaults()
 	src := rng.New(cfg.Seed)
 	net := cfg.Net
@@ -238,6 +245,18 @@ func Run(cfg RunConfig) (trace.Trace, RunStats) {
 	// injector derives all randomness from the run seed, so a campaign is
 	// reproducible clean or degraded from the same seed.
 	stats.Faults = cfg.Faults.Apply(&tr, cfg.Seed^faultSeedSalt)
+	if r := obs.Default(); r.Enabled() {
+		r.Add("sim.traces_built", 1)
+		r.Add("sim.samples_generated", int64(len(tr.Samples)))
+		r.Add("sim.rrc_events", int64(len(stats.Events)))
+		r.Add("sim.cc_changes", int64(stats.CCChangeCount))
+		r.Add("sim.faults_injected", int64(stats.Faults.Total()))
+		sp.EndWith(map[string]any{
+			"operator": string(cfg.Operator), "scenario": cfg.Scenario.String(),
+			"samples": len(tr.Samples), "events": len(stats.Events),
+			"faults": stats.Faults.Total(),
+		})
+	}
 	return tr, stats
 }
 
@@ -423,6 +442,7 @@ func Build(spec SubDatasetSpec, opts BuildOpts) *trace.Dataset {
 // results are assembled in index order — the dataset is byte-identical to
 // the serial build at any worker count.
 func BuildReport(spec SubDatasetSpec, opts BuildOpts) (*trace.Dataset, faults.Report) {
+	sp := obs.StartSpan("sim.build")
 	var report faults.Report
 	if opts.Traces == 0 {
 		plan, workers := opts.Faults, opts.Workers
@@ -483,6 +503,10 @@ func BuildReport(spec SubDatasetSpec, opts BuildOpts) (*trace.Dataset, faults.Re
 		report.Add(r.stats.Faults)
 		d.Traces = append(d.Traces, r.tr)
 	}
+	obs.Add("sim.datasets_built", 1)
+	sp.EndWith(map[string]any{
+		"dataset": d.Name, "traces": len(d.Traces), "faults": report.Total(),
+	})
 	return d, report
 }
 

@@ -8,8 +8,8 @@ import (
 	"prism5g/internal/trace"
 )
 
-// obs is shorthand for a serving set built from (pci, isPCell) pairs.
-func obs(pairs ...[2]int) []ran.CCObservation {
+// ccset is shorthand for a serving set built from (pci, isPCell) pairs.
+func ccset(pairs ...[2]int) []ran.CCObservation {
 	var ccs []ran.CCObservation
 	for _, p := range pairs {
 		ccs = append(ccs, ran.CCObservation{PCI: p[0], IsPCell: p[1] == 1})
@@ -64,7 +64,7 @@ func TestSlotTableRemoveReAdd(t *testing.T) {
 	st := newSlotTable()
 
 	// Attach: PCell 10 plus SCells 20, 30, 40 fill all four slots.
-	full := obs([2]int{10, 1}, [2]int{20, 0}, [2]int{30, 0}, [2]int{40, 0})
+	full := ccset([2]int{10, 1}, [2]int{20, 0}, [2]int{30, 0}, [2]int{40, 0})
 	st.sync(full)
 	checkSlotInvariants(t, st, full)
 	slot20, _ := st.slotOf(20)
@@ -75,7 +75,7 @@ func TestSlotTableRemoveReAdd(t *testing.T) {
 
 	// Remove SCell 20, then re-add it next sync. Its old slot must have
 	// been released and is the lowest free slot, so it gets it back.
-	drop := obs([2]int{10, 1}, [2]int{30, 0}, [2]int{40, 0})
+	drop := ccset([2]int{10, 1}, [2]int{30, 0}, [2]int{40, 0})
 	st.sync(drop)
 	checkSlotInvariants(t, st, drop)
 	if _, ok := st.slotOf(20); ok {
@@ -97,7 +97,7 @@ func TestSlotTableRemoveReAdd(t *testing.T) {
 	// Swap within one sync: 20 departs exactly as new SCell 50 arrives.
 	// The freed slot must be reusable in the same call — this is the
 	// "remove + re-add within one sync" case of the audit.
-	swap := obs([2]int{10, 1}, [2]int{30, 0}, [2]int{40, 0}, [2]int{50, 0})
+	swap := ccset([2]int{10, 1}, [2]int{30, 0}, [2]int{40, 0}, [2]int{50, 0})
 	st.sync(swap)
 	checkSlotInvariants(t, st, swap)
 	if s, ok := st.slotOf(50); !ok || s != slot20 {
@@ -118,13 +118,13 @@ func TestSlotTableRemoveReAdd(t *testing.T) {
 // stranded.
 func TestSlotTablePCellHandover(t *testing.T) {
 	st := newSlotTable()
-	full := obs([2]int{10, 1}, [2]int{20, 0}, [2]int{30, 0}, [2]int{40, 0})
+	full := ccset([2]int{10, 1}, [2]int{20, 0}, [2]int{30, 0}, [2]int{40, 0})
 	st.sync(full)
 
 	// Handover: SCell 20 becomes the PCell while 10 stays as an SCell.
 	// 20 must land on slot 0; 10, evicted, moves to a free slot (the one
 	// 20 vacated).
-	handover := obs([2]int{10, 0}, [2]int{20, 1}, [2]int{30, 0}, [2]int{40, 0})
+	handover := ccset([2]int{10, 0}, [2]int{20, 1}, [2]int{30, 0}, [2]int{40, 0})
 	st.sync(handover)
 	checkSlotInvariants(t, st, handover)
 	if s, _ := st.slotOf(20); s != 0 {
@@ -136,7 +136,7 @@ func TestSlotTablePCellHandover(t *testing.T) {
 
 	// Handover to a brand-new PCI with the table completely full: the
 	// squatter on slot 0 is evicted and — with no free slot — dropped.
-	newcomer := obs([2]int{99, 1}, [2]int{10, 0}, [2]int{30, 0}, [2]int{40, 0}, [2]int{20, 0})
+	newcomer := ccset([2]int{99, 1}, [2]int{10, 0}, [2]int{30, 0}, [2]int{40, 0}, [2]int{20, 0})
 	st.sync(newcomer)
 	checkSlotInvariants(t, st, newcomer)
 	if s, _ := st.slotOf(99); s != 0 {

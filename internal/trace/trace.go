@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"prism5g/internal/obs"
 	"prism5g/internal/rng"
 )
 
@@ -299,6 +300,7 @@ func Windows(d *Dataset, sc *Scaler, opts WindowOpts) []Window {
 			out = append(out, MakeWindow(tr, ti, start, sc, opts))
 		}
 	}
+	obs.Add("trace.windows_built", int64(len(out)))
 	return out
 }
 

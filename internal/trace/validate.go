@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"prism5g/internal/obs"
 )
 
 // ErrKind classifies validation failures. Field measurements are never
@@ -167,6 +169,7 @@ func (d *Dataset) Validate() *ValidationReport {
 	for ti := range d.Traces {
 		validateTrace(&d.Traces[ti], ti, rep)
 	}
+	observeValidation(rep)
 	return rep
 }
 
@@ -174,7 +177,24 @@ func (d *Dataset) Validate() *ValidationReport {
 func (t *Trace) Validate() *ValidationReport {
 	rep := &ValidationReport{}
 	validateTrace(t, -1, rep)
+	observeValidation(rep)
 	return rep
+}
+
+// observeValidation records a finished Validate pass on the telemetry
+// registry (a no-op unless a CLI enabled it).
+func observeValidation(rep *ValidationReport) {
+	r := obs.Default()
+	if !r.Enabled() {
+		return
+	}
+	r.Add("trace.validations", 1)
+	r.Add("trace.validate_findings", int64(len(rep.Errors)))
+	if !rep.OK() {
+		r.Emit("trace.validate", map[string]any{
+			"findings": len(rep.Errors), "summary": rep.String(),
+		})
+	}
 }
 
 func validateTrace(t *Trace, ti int, rep *ValidationReport) {
@@ -423,7 +443,32 @@ func (t *Trace) Repair(opts RepairOpts) RepairReport {
 	t.fixTimestampOrder(&rep)
 	t.fixValues(opts, &rep)
 	t.fillGaps(opts, &rep)
+	observeRepair(opts, rep)
 	return rep
+}
+
+// observeRepair records one Trace.Repair pass: per-action counters (what
+// the ingest pipeline actually fixed) and a journal event for dirty
+// traces. Dataset.Repair aggregates through here, once per trace.
+func observeRepair(opts RepairOpts, rep RepairReport) {
+	r := obs.Default()
+	if !r.Enabled() {
+		return
+	}
+	r.Add("trace.repairs", 1)
+	r.Add("trace.repair_actions", int64(rep.Total()))
+	r.Add("trace.imputed_fields", int64(rep.NonFinite))
+	r.Add("trace.repair_timestamps", int64(rep.Timestamps))
+	r.Add("trace.repair_masks", int64(rep.Masks))
+	r.Add("trace.repair_ranges", int64(rep.Ranges))
+	r.Add("trace.gaps_filled", int64(rep.GapsFilled))
+	r.Add("trace.gap_samples_inserted", int64(rep.Inserted))
+	r.Add("trace.samples_dropped", int64(rep.Dropped))
+	if rep.Total() > 0 {
+		r.Emit("trace.repair", map[string]any{
+			"policy": opts.Policy.String(), "actions": rep.Total(), "summary": rep.String(),
+		})
+	}
 }
 
 func (t *Trace) dropBadTimestamps(rep *RepairReport) {

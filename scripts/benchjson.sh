@@ -1,0 +1,54 @@
+#!/bin/sh
+# benchjson.sh [output.json]
+#
+# Runs the repository's headline benchmarks (dataset build, the Table 4
+# fan-out, the shared training loop and the ingest repair pass) with
+# -benchmem and converts the `go test -bench` text output into a JSON
+# array, one object per benchmark:
+#
+#   {"name": "BenchmarkTrainLoop", "iterations": 1,
+#    "ns_per_op": 30454681, "bytes_per_op": 15711640, "allocs_per_op": 177211}
+#
+# Default output is BENCH_obs.json in the repository root. The raw bench
+# text is echoed to stderr so interactive runs stay readable.
+set -eu
+
+out=${1:-BENCH_obs.json}
+GO=${GO:-go}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+$GO test -run '^$' -benchtime=1x -benchmem \
+    -bench 'BenchmarkParallelBuild|BenchmarkParallelTable4' . >"$tmp"
+$GO test -run '^$' -benchtime=1x -benchmem \
+    -bench 'BenchmarkTrainLoop' ./internal/predictors/ >>"$tmp"
+$GO test -run '^$' -benchtime=1x -benchmem \
+    -bench 'BenchmarkRepair' ./internal/trace/ >>"$tmp"
+
+cat "$tmp" >&2
+
+# A -benchmem result line looks like:
+#   BenchmarkRepair    1    1165891 ns/op    1312544 B/op    48 allocs/op
+# Sub-benchmarks carry a /suffix and a -N CPU suffix; both are kept in the
+# name so entries stay unique.
+awk '
+$1 ~ /^Benchmark/ && $NF == "allocs/op" {
+    name = $1
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "" || bytes == "") next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, ns, bytes, $(NF-1)
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$tmp" >"$out"
+
+echo "benchjson: wrote $(grep -c '"name"' "$out") benchmarks to $out" >&2

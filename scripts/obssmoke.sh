@@ -1,0 +1,29 @@
+#!/bin/sh
+# obssmoke.sh <metrics-snapshot.json>
+#
+# Asserts that an instrumented run produced a parseable metrics snapshot
+# with nonzero counters from every pipeline stage: sim (trace generation),
+# par (worker pool), trace (windowing) and train (epoch loop). Used by
+# `make obs-smoke` and the CI telemetry step.
+set -eu
+
+if [ $# -ne 1 ] || [ ! -r "$1" ]; then
+    echo "usage: $0 <metrics-snapshot.json>" >&2
+    exit 2
+fi
+
+python3 - "$1" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    snap = json.load(f)  # parse failure -> traceback -> nonzero exit
+counters = snap.get("counters", {})
+missing = [k for k in ("sim.traces_built", "par.tasks",
+                       "trace.windows_built", "train.epochs")
+           if counters.get(k, 0) <= 0]
+if missing:
+    sys.exit(f"obs-smoke: missing or zero counters {missing}; "
+             f"snapshot has {sorted(counters)}")
+print("obs-smoke: ok", {k: counters[k] for k in sorted(counters)})
+EOF
