@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race fuzz-smoke bench bench-json obs-smoke conform golden cover check
+.PHONY: build vet test test-race fuzz-smoke bench bench-json obs-smoke serve-smoke conform golden cover check
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ bench-json:
 obs-smoke:
 	$(GO) run ./cmd/prismeval -quick -runtime -metrics obs_metrics.json -journal obs_journal.jsonl
 	./scripts/obssmoke.sh obs_metrics.json
+
+# End-to-end serving smoke: prismserve under a deliberately undersized
+# queue must shed with 429s (never drop a request), survive one seeded
+# chaos pass (slow-loris, malformed payloads, disconnects, bursts) and
+# drain cleanly on SIGTERM.
+serve-smoke:
+	./scripts/servesmoke.sh
 
 # Paper-conformance suite: goldens + statistical invariants + metamorphic
 # laws. Exits nonzero on any violation.

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"prism5g/internal/rng"
+)
+
+// Per-behavior rng salts, following the internal/faults discipline: each
+// chaos behavior owns a private stream derived from (seed ^ salt), mixed
+// with the worker index, so behaviors are independently reproducible and
+// enabling one never perturbs another's schedule.
+const (
+	saltMalformed  = 0x4d_41_4c // "MAL"
+	saltLoris      = 0x4c_52_53 // "LRS"
+	saltDisconnect = 0x44_43_4e // "DCN"
+	saltBurst      = 0x42_53_54 // "BST"
+)
+
+// Per-iteration firing probabilities. Mutually exclusive by evaluation
+// order; roughly one iteration in four misbehaves during a chaos run.
+const (
+	pMalformed  = 0.12
+	pLoris      = 0.04
+	pDisconnect = 0.06
+	pBurst      = 0.04
+)
+
+type chaosAction int
+
+const (
+	actNone chaosAction = iota
+	actMalformed
+	actLoris
+	actDisconnect
+	actBurst
+)
+
+// chaosRig holds one worker's chaos schedule. Each behavior draws from its
+// own stream; a disabled rig (plain load run) always picks actNone.
+type chaosRig struct {
+	enabled   bool
+	malformed *rng.Source
+	loris     *rng.Source
+	hangup    *rng.Source
+	burst     *rng.Source
+	payload   *rng.Source // variant selection within sendMalformed
+}
+
+func newChaosRig(seed uint64, worker int, enabled bool) *chaosRig {
+	mix := uint64(worker+1) * 0x9e3779b97f4a7c15
+	return &chaosRig{
+		enabled:   enabled,
+		malformed: rng.New(seed ^ saltMalformed ^ mix),
+		loris:     rng.New(seed ^ saltLoris ^ mix),
+		hangup:    rng.New(seed ^ saltDisconnect ^ mix),
+		burst:     rng.New(seed ^ saltBurst ^ mix),
+		payload:   rng.New(seed ^ saltMalformed ^ saltLoris ^ mix),
+	}
+}
+
+// pick decides this iteration's behavior. Every stream is advanced every
+// iteration regardless of earlier matches, so one behavior's schedule does
+// not depend on another's outcome.
+func (r *chaosRig) pick() chaosAction {
+	if r == nil || !r.enabled {
+		return actNone
+	}
+	m := r.malformed.Bool(pMalformed)
+	l := r.loris.Bool(pLoris)
+	d := r.hangup.Bool(pDisconnect)
+	b := r.burst.Bool(pBurst)
+	switch {
+	case m:
+		return actMalformed
+	case l:
+		return actLoris
+	case d:
+		return actDisconnect
+	case b:
+		return actBurst
+	}
+	return actNone
+}
+
+// sendMalformed posts a deliberately broken payload. The server must answer
+// with a 4xx — a 2xx (accepted garbage) or 5xx (handler blew up) is a
+// serving failure and fails the run.
+func (r *chaosRig) sendMalformed(client *http.Client, addr string, st *stats) {
+	var body []byte
+	switch r.payload.Intn(5) {
+	case 0: // truncated JSON
+		body = []byte(`{"session":"chaos","samples":[{"T":0,"AggTput":`)
+	case 1: // binary garbage
+		body = make([]byte, 64)
+		for i := range body {
+			body[i] = byte(r.payload.Intn(256))
+		}
+	case 2: // oversized body (over the server's 256 KiB default cap)
+		body = []byte(`{"session":"chaos","samples":[{"T":0,"AggTput":1,"pad":"` +
+			strings.Repeat("a", 300_000) + `"}]}`)
+	case 3: // session ID over the 128-byte limit
+		body = []byte(`{"session":"` + strings.Repeat("x", 256) +
+			`","samples":[{"T":0,"AggTput":1}]}`)
+	case 4: // wrong types
+		body = []byte(`{"session":12345,"samples":"nope"}`)
+	}
+	st.mu.Lock()
+	st.chaosMalformed++
+	st.mu.Unlock()
+	resp, err := client.Post("http://"+addr+"/v1/forecast", "application/json", bytes.NewReader(body))
+	if err != nil {
+		// The server may legitimately slam the connection shut on an
+		// oversized body; a transport error here is not a failure.
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+		st.mu.Lock()
+		st.chaosMalformedBad++
+		st.mu.Unlock()
+	}
+}
+
+// slowLoris opens a raw connection, sends complete headers that promise a
+// body, then dribbles single bytes. The server's read timeouts must shed
+// the connection rather than hold a handler goroutine forever; the client
+// gives up after a bounded budget so chaos runs stay fast.
+func (r *chaosRig) slowLoris(addr string, st *stats) {
+	st.mu.Lock()
+	st.chaosLoris++
+	st.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	head := fmt.Sprintf("POST /v1/forecast HTTP/1.1\r\nHost: %s\r\n"+
+		"Content-Type: application/json\r\nContent-Length: 4096\r\n\r\n", addr)
+	if _, err := conn.Write([]byte(head)); err != nil {
+		return
+	}
+	budget := time.Duration(800+r.loris.Intn(700)) * time.Millisecond
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		if _, err := conn.Write([]byte{'{'}); err != nil {
+			return // server shed us — exactly what we want
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// disconnect sends headers plus half a body and hangs up mid-request. The
+// handler must treat the aborted read as a client error, not a crash.
+func (r *chaosRig) disconnect(addr string, st *stats) {
+	st.mu.Lock()
+	st.chaosDisconnect++
+	st.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return
+	}
+	body := `{"session":"chaos","samples":[{"T":0,"AggTput":100}]}`
+	head := fmt.Sprintf("POST /v1/forecast HTTP/1.1\r\nHost: %s\r\n"+
+		"Content-Type: application/json\r\nContent-Length: %d\r\n\r\n", addr, len(body))
+	conn.Write([]byte(head))
+	conn.Write([]byte(body[:len(body)/2]))
+	conn.Close()
+}

@@ -1,0 +1,315 @@
+// Command prismload replays concurrent simulated UE sessions against a
+// running prismserve instance and reports latency percentiles, throughput
+// and outcome counts. It is the closed-loop half of the serving story: the
+// sessions it replays come from the same internal/sim campaign generator
+// the server bootstraps from, so feature distributions match.
+//
+// Usage:
+//
+//	prismload [-addr host:port] [-sessions N] [-requests N] [-seed N]
+//	          [-timeout D] [-max-backoff D] [-chaos] [-probe] [-probe-wait D]
+//
+// With -chaos, a seeded fraction of iterations misbehave on purpose —
+// slow-loris dribble, malformed payloads, mid-request disconnects, request
+// bursts — each behavior drawing from its own rng stream derived from
+// (seed ^ behavior-salt), the internal/faults discipline, so chaos runs
+// are reproducible and behaviors are independently toggleable in code.
+//
+// Exit status is 0 only if the server never answered 5xx, never produced
+// an unexpected transport failure on a well-formed request, never accepted
+// a malformed payload, and was still healthy at the end of the run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"prism5g"
+	"prism5g/internal/serve"
+	"prism5g/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8321", "prismserve address")
+	sessions := flag.Int("sessions", 50, "concurrent UE sessions")
+	requests := flag.Int("requests", 30, "requests per session")
+	seed := flag.Uint64("seed", 42, "seed for session traces and chaos schedules")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+	maxBackoff := flag.Duration("max-backoff", 1*time.Second, "cap on honored Retry-After sleeps")
+	chaos := flag.Bool("chaos", false, "inject slow-loris, malformed payloads, disconnects and bursts")
+	probe := flag.Bool("probe", false, "probe /healthz and /readyz and exit (0 iff both 200)")
+	probeWait := flag.Duration("probe-wait", 0, "with -probe: keep retrying for this long before giving up")
+	flag.Parse()
+
+	if *probe {
+		os.Exit(runProbe(*addr, *probeWait))
+	}
+	os.Exit(runLoad(*addr, *sessions, *requests, *seed, *timeout, *maxBackoff, *chaos))
+}
+
+// runProbe checks /healthz and /readyz, retrying up to wait (so smoke
+// scripts can start the server and probe without shell sleep loops).
+func runProbe(addr string, wait time.Duration) int {
+	deadline := time.Now().Add(wait)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for {
+		healthy := endpointOK(client, addr, "/healthz")
+		ready := endpointOK(client, addr, "/readyz")
+		if healthy && ready {
+			fmt.Printf("prismload: probe %s healthz=ok readyz=ok\n", addr)
+			return 0
+		}
+		if time.Now().After(deadline) {
+			fmt.Printf("prismload: probe %s healthz=%v readyz=%v\n", addr, healthy, ready)
+			return 1
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func endpointOK(client *http.Client, addr, path string) bool {
+	resp, err := client.Get("http://" + addr + path)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// stats aggregates outcomes across all session workers.
+type stats struct {
+	mu        sync.Mutex
+	latencies []float64 // seconds, well-formed answered requests only
+
+	ok, warmup, degraded, shed, unavailable int
+	clientErrs, serverErrs, transportErrs   int
+
+	chaosMalformed, chaosMalformedBad       int
+	chaosLoris, chaosDisconnect, chaosBurst int
+}
+
+func (st *stats) record(outcome string, latency time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if latency > 0 {
+		st.latencies = append(st.latencies, latency.Seconds())
+	}
+	switch outcome {
+	case "ok":
+		st.ok++
+	case "warmup":
+		st.warmup++
+	case "degraded":
+		st.degraded++
+	case "shed":
+		st.shed++
+	case "unavailable":
+		st.unavailable++
+	case "client-error":
+		st.clientErrs++
+	case "server-error":
+		st.serverErrs++
+	case "transport-error":
+		st.transportErrs++
+	}
+}
+
+func runLoad(addr string, sessions, requests int, seed uint64, timeout, maxBackoff time.Duration, chaos bool) int {
+	nTraces := sessions
+	if nTraces > 8 {
+		nTraces = 8
+	}
+	if nTraces < 1 {
+		nTraces = 1
+	}
+	perTrace := requests + 16
+	if perTrace < 64 {
+		perTrace = 64
+	}
+	fmt.Printf("prismload: %d sessions x %d requests against %s (seed=%d chaos=%v)\n",
+		sessions, requests, addr, seed, chaos)
+	ds := prism5g.GenerateDatasetSized(prism5g.OpZ, prism5g.Driving, prism5g.Long, seed, nTraces, perTrace)
+
+	st := &stats{}
+	client := &http.Client{Timeout: timeout}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < sessions; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runSession(client, addr, fmt.Sprintf("ue-%04d", w),
+				ds.Traces[w%len(ds.Traces)].Samples, requests,
+				newChaosRig(seed, w, chaos), st, maxBackoff)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	healthyAfter := endpointOK(client, addr, "/healthz")
+	return report(st, elapsed, chaos, healthyAfter)
+}
+
+// runSession replays one UE's samples, one per request, so the server-side
+// sliding window fills exactly as it would from a live stream.
+func runSession(client *http.Client, addr, id string, samples []trace.Sample,
+	requests int, rig *chaosRig, st *stats, maxBackoff time.Duration) {
+	for i := 0; i < requests; i++ {
+		switch rig.pick() {
+		case actMalformed:
+			rig.sendMalformed(client, addr, st)
+			continue
+		case actLoris:
+			rig.slowLoris(addr, st)
+			continue
+		case actDisconnect:
+			rig.disconnect(addr, st)
+			continue
+		case actBurst:
+			st.mu.Lock()
+			st.chaosBurst++
+			st.mu.Unlock()
+			var bwg sync.WaitGroup
+			for b := 0; b < 8; b++ {
+				bwg.Add(1)
+				go func(b int) {
+					defer bwg.Done()
+					s := samples[(i+b)%len(samples)]
+					sendForecast(client, addr, id, s, st, maxBackoff)
+				}(b)
+			}
+			bwg.Wait()
+			continue
+		}
+		sendForecast(client, addr, id, samples[i%len(samples)], st, maxBackoff)
+	}
+}
+
+// sendForecast posts one well-formed sample and classifies the outcome.
+// Every answered request counts somewhere — "zero dropped" means the sum
+// of categories equals the number of sends.
+func sendForecast(client *http.Client, addr, id string, s trace.Sample, st *stats, maxBackoff time.Duration) {
+	body, err := json.Marshal(serve.Request{Session: id, Samples: []trace.Sample{s}})
+	if err != nil {
+		st.record("client-error", 0)
+		return
+	}
+	t0 := time.Now()
+	resp, err := client.Post("http://"+addr+"/v1/forecast", "application/json", bytes.NewReader(body))
+	lat := time.Since(t0)
+	if err != nil {
+		st.record("transport-error", 0)
+		return
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var fr serve.Response
+		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+			st.record("server-error", lat)
+			return
+		}
+		switch {
+		case fr.Warmup:
+			st.record("warmup", lat)
+		case fr.Degraded:
+			st.record("degraded", lat)
+		default:
+			st.record("ok", lat)
+		}
+	case resp.StatusCode == http.StatusTooManyRequests:
+		st.record("shed", lat)
+		sleepRetryAfter(resp, maxBackoff)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		st.record("unavailable", lat)
+		sleepRetryAfter(resp, maxBackoff)
+	case resp.StatusCode >= 500:
+		st.record("server-error", lat)
+	default:
+		st.record("client-error", lat)
+	}
+}
+
+// sleepRetryAfter honors a Retry-After header, capped so load runs finish.
+func sleepRetryAfter(resp *http.Response, maxBackoff time.Duration) {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	time.Sleep(d)
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func report(st *stats, elapsed time.Duration, chaos, healthyAfter bool) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sort.Float64s(st.latencies)
+	answered := st.ok + st.warmup + st.degraded + st.shed + st.unavailable + st.clientErrs + st.serverErrs
+	p50 := percentile(st.latencies, 0.50) * 1000
+	p99 := percentile(st.latencies, 0.99) * 1000
+	max := 0.0
+	if n := len(st.latencies); n > 0 {
+		max = st.latencies[n-1] * 1000
+	}
+	rate := float64(st.ok+st.warmup+st.degraded) / elapsed.Seconds()
+
+	fmt.Printf("prismload: done in %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  latency    p50=%.1fms p99=%.1fms max=%.1fms over %d answered requests\n",
+		p50, p99, max, len(st.latencies))
+	fmt.Printf("  throughput %.0f forecasts/s\n", rate)
+	fmt.Printf("  outcomes   ok=%d warmup=%d degraded=%d shed=%d unavailable=%d\n",
+		st.ok, st.warmup, st.degraded, st.shed, st.unavailable)
+	fmt.Printf("  errors     client=%d server=%d transport=%d\n",
+		st.clientErrs, st.serverErrs, st.transportErrs)
+	if chaos {
+		fmt.Printf("  chaos      malformed=%d (accepted=%d) slowloris=%d disconnect=%d burst=%d\n",
+			st.chaosMalformed, st.chaosMalformedBad, st.chaosLoris, st.chaosDisconnect, st.chaosBurst)
+	}
+	fmt.Printf("  health     post-run healthz ok=%v\n", healthyAfter)
+
+	summary := map[string]any{
+		"p50_ms": p50, "p99_ms": p99, "max_ms": max,
+		"forecasts_per_s": rate, "answered": answered,
+		"ok": st.ok, "warmup": st.warmup, "degraded": st.degraded,
+		"shed": st.shed, "unavailable": st.unavailable,
+		"client_errors": st.clientErrs, "server_errors": st.serverErrs,
+		"transport_errors": st.transportErrs,
+		"chaos_malformed":  st.chaosMalformed, "chaos_malformed_accepted": st.chaosMalformedBad,
+		"chaos_slowloris": st.chaosLoris, "chaos_disconnect": st.chaosDisconnect,
+		"chaos_burst":   st.chaosBurst,
+		"healthy_after": healthyAfter,
+	}
+	js, _ := json.Marshal(summary)
+	fmt.Printf("prismload-summary: %s\n", js)
+
+	fail := st.serverErrs > 0 || st.transportErrs > 0 || st.chaosMalformedBad > 0 || !healthyAfter
+	if !chaos && st.clientErrs > 0 {
+		// Well-formed traffic must never draw a 4xx outside chaos runs.
+		fail = true
+	}
+	if fail {
+		fmt.Println("prismload: FAIL")
+		return 1
+	}
+	fmt.Println("prismload: PASS")
+	return 0
+}

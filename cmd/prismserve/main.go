@@ -1,0 +1,154 @@
+// Command prismserve is the prediction-as-a-service front end: a
+// long-running HTTP/JSON server that holds a trained predictor in memory
+// and serves per-UE aggregate-throughput forecasts from streaming feature
+// updates (see internal/serve and DESIGN.md §12).
+//
+// Usage:
+//
+//	prismserve [-addr host:port] [-model NAME] [-seed N] [-epochs N]
+//	           [-queue N] [-concurrency N] [-deadline D] [-idle-ttl D]
+//	           [-max-sessions N] [-breaker-threshold N] [-breaker-open D]
+//	           [-metrics file] [-journal file] [-pprof addr]
+//
+// The server bootstraps by generating a small simulated campaign, fitting
+// the scaler and training the named model (default HarmonicMean, which is
+// instant; any baseline name from the facade or "Prism5G" works, at the
+// cost of a training pass at boot). POST /admin/swap retrains and installs
+// a different model without dropping a request.
+//
+// SIGINT/SIGTERM trigger a graceful drain: /readyz flips to 503, in-flight
+// requests finish (bounded by -drain-timeout) and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"prism5g"
+	"prism5g/internal/obs"
+	"prism5g/internal/serve"
+)
+
+// slowPredictor delays every inference by a fixed amount — a load-testing
+// aid that emulates a heavier model so the queue, deadline and shedding
+// paths can be exercised with the instant harmonic-mean baseline.
+type slowPredictor struct {
+	prism5g.Predictor
+	delay time.Duration
+}
+
+func (s *slowPredictor) Predict(w prism5g.Window) []float64 {
+	time.Sleep(s.delay)
+	return s.Predictor.Predict(w)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8321", "listen address (use :0 for an ephemeral port)")
+	model := flag.String("model", "HarmonicMean", "model to serve: HarmonicMean, Prophet, LSTM, TCN, Lumos5G, GBDT, RF or Prism5G")
+	seed := flag.Uint64("seed", 42, "seed for the bootstrap campaign and training")
+	epochs := flag.Int("epochs", 10, "training epochs for neural models at boot/swap")
+	traces := flag.Int("traces", 4, "bootstrap campaign traces")
+	samples := flag.Int("samples", 120, "bootstrap samples per trace")
+	queue := flag.Int("queue", 64, "bounded request queue capacity (beyond -concurrency); excess requests are shed with 429")
+	concurrency := flag.Int("concurrency", 4, "max simultaneous inferences")
+	deadline := flag.Duration("deadline", 250*time.Millisecond, "per-request budget; on expiry the harmonic-mean fallback answers")
+	idleTTL := flag.Duration("idle-ttl", 2*time.Minute, "evict sessions idle this long")
+	maxSessions := flag.Int("max-sessions", 10000, "hard cap on live sessions (LRU eviction beyond)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive model failures that open the circuit breaker")
+	breakerOpen := flag.Duration("breaker-open", 5*time.Second, "how long the breaker stays open before a half-open probe")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown/swap drain bound")
+	slow := flag.Duration("slow", 0, "artificially delay each inference (load-testing aid: emulates a heavier model so backpressure and timeout paths engage)")
+	teleFlags := obs.BindFlags(flag.CommandLine)
+	flag.Parse()
+
+	tele, err := teleFlags.Start()
+	if err != nil {
+		log.Fatalf("prismserve: %v", err)
+	}
+	// A server's metrics are not optional: /metrics must be live even
+	// when no -metrics/-journal flag was given.
+	obs.Default().SetEnabled(true)
+	if a := tele.PprofAddr(); a != "" {
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", a)
+	}
+
+	fmt.Printf("prismserve: bootstrapping %s (seed=%d, %d traces x %d samples)\n",
+		*model, *seed, *traces, *samples)
+	ds := prism5g.GenerateDatasetSized(prism5g.OpZ, prism5g.Driving, prism5g.Long, *seed, *traces, *samples)
+	bundle := prism5g.Prepare(ds, *seed)
+	build := func(name string) (prism5g.Predictor, error) {
+		var p prism5g.Predictor
+		if name == "Prism5G" {
+			p = prism5g.NewPrism5G(bundle, prism5g.ModelConfig{Epochs: *epochs, Seed: *seed})
+		} else {
+			var err error
+			p, err = prism5g.NewBaselineE(name, bundle, prism5g.ModelConfig{Epochs: *epochs, Seed: *seed})
+			if err != nil {
+				return nil, err
+			}
+		}
+		t0 := time.Now()
+		rep := p.Train(bundle.Train, bundle.Val)
+		fmt.Printf("prismserve: trained %s in %v (%s)\n", name, time.Since(t0).Round(time.Millisecond), rep)
+		if *slow > 0 {
+			p = &slowPredictor{Predictor: p, delay: *slow}
+		}
+		return p, nil
+	}
+	p, err := build(*model)
+	if err != nil {
+		log.Fatalf("prismserve: %v", err)
+	}
+
+	srv := serve.New(*model, p, bundle.Scaler, serve.Config{
+		QueueCap:         *queue,
+		Concurrency:      *concurrency,
+		Deadline:         *deadline,
+		IdleTTL:          *idleTTL,
+		MaxSessions:      *maxSessions,
+		BreakerThreshold: *breakerThreshold,
+		BreakerOpenFor:   *breakerOpen,
+		DrainTimeout:     *drainTimeout,
+		Build:            build,
+		Reg:              obs.Default(),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("prismserve: %v", err)
+	}
+	fmt.Printf("prismserve: listening on %s model=%s queue=%d concurrency=%d deadline=%v\n",
+		ln.Addr(), *model, *queue, *concurrency, *deadline)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Printf("prismserve: %v — draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("prismserve: drain failed: %v", err)
+		}
+		<-done // http.ErrServerClosed after a clean shutdown
+	case err := <-done:
+		log.Fatalf("prismserve: serve: %v", err)
+	}
+	if tele.Active() {
+		fmt.Println(tele.Summary())
+		if err := tele.Close(); err != nil {
+			log.Fatalf("prismserve: %v", err)
+		}
+	}
+	fmt.Println("prismserve: drained cleanly")
+}

@@ -185,7 +185,8 @@ func memoized[T any](c *Ctx, key string, produce func() T) T {
 // Checks returns every statistical invariant and metamorphic law the
 // harness knows, in report order.
 func Checks() []Check {
-	return append(invariantChecks(), metamorphicChecks()...)
+	cs := append(invariantChecks(), metamorphicChecks()...)
+	return append(cs, servingChecks()...)
 }
 
 // RunAll executes the full conformance suite: golden comparison (when the

@@ -1,0 +1,144 @@
+package conform
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"time"
+
+	"prism5g/internal/obs"
+	"prism5g/internal/predictors"
+	"prism5g/internal/ran"
+	"prism5g/internal/serve"
+	"prism5g/internal/sim"
+	"prism5g/internal/trace"
+)
+
+// servingChecks lists the serving-layer laws: properties of the forecast
+// service's degradation machinery rather than of the simulator's numbers.
+func servingChecks() []Check {
+	return []Check{
+		{Name: "serving-degradation-determinism", Figs: "serving layer",
+			Run: checkServingDegradation},
+	}
+}
+
+// brokenModel always panics at inference; it stands in for a predictor
+// whose weights have gone bad in production.
+type brokenModel struct{}
+
+func (brokenModel) Name() string { return "broken" }
+func (brokenModel) Train(train, val []trace.Window) predictors.TrainReport {
+	return predictors.TrainReport{}
+}
+func (brokenModel) Predict(w trace.Window) []float64 { panic("conform: broken model") }
+
+// checkServingDegradation: when the model is quarantined — first by the
+// in-flight panic interception, then by the open circuit breaker — every
+// served forecast must equal the harmonic-mean fallback computed directly
+// over the same window, bit for bit. Degradation is a deterministic
+// contract, not a best-effort guess: a client cannot tell a degraded
+// answer from a healthy server running the HarmonicMean baseline.
+func checkServingDegradation(c *Ctx) []Violation {
+	const name = "serving-degradation-determinism"
+	var out []Violation
+
+	ds, _ := sim.BuildReport(mlSpec(), sim.BuildOpts{
+		Traces: 1, SamplesPerTrace: 40, Seed: c.Cfg.Seed,
+		Modem: ran.ModemX70, Workers: c.Cfg.Workers})
+	sc := &trace.Scaler{}
+	sc.Fit(ds.Traces)
+	samples := ds.Traces[0].Samples
+
+	wopts := trace.WindowOpts{History: 10, Horizon: 10, Stride: 1}
+	clock := time.Unix(0, 0) // frozen: the breaker never reaches its probe window
+	srv := serve.New("broken", brokenModel{}, sc, serve.Config{
+		History: wopts.History, Horizon: wopts.Horizon,
+		BreakerThreshold: 1,
+		Deadline:         time.Minute, // never let timeouts preempt the paths under test
+		Now:              func() time.Time { return clock },
+		Reg:              obs.New(),
+	})
+	h := srv.Handler()
+
+	post := func(ss []trace.Sample) (*serve.Response, error) {
+		b, err := json.Marshal(serve.Request{Session: "conform-ue", Samples: ss})
+		if err != nil {
+			return nil, err
+		}
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/forecast", bytes.NewReader(b)))
+		if rr.Code != 200 {
+			return nil, fmt.Errorf("status %d: %s", rr.Code, rr.Body.String())
+		}
+		var resp serve.Response
+		if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+			return nil, err
+		}
+		return &resp, nil
+	}
+
+	// Replay single samples after priming a full history; request r serves
+	// from the window samples[r : r+History]. The first full-window request
+	// reaches the model, panics, and is answered by the panic interception
+	// ("model_fault"); with threshold 1 the breaker is open for all
+	// subsequent requests ("breaker_open"). Both paths promise the same
+	// fallback bytes.
+	hm := &predictors.HarmonicMean{Horizon: wopts.Horizon}
+	const extra = 6
+	for r := 0; r <= extra; r++ {
+		var resp *serve.Response
+		var err error
+		if r == 0 {
+			resp, err = post(samples[:wopts.History])
+		} else {
+			resp, err = post(samples[wopts.History+r-1 : wopts.History+r])
+		}
+		if err != nil {
+			out = append(out, Violation{Check: name,
+				Path: fmt.Sprintf("request[%d]", r), Msg: err.Error()})
+			continue
+		}
+		wantReason := "breaker_open"
+		if r == 0 {
+			wantReason = "model_fault"
+		}
+		if !resp.Degraded || resp.Reason != wantReason {
+			out = append(out, Violation{Check: name,
+				Path: fmt.Sprintf("request[%d]", r),
+				Got:  fmt.Sprintf("degraded=%v reason=%q", resp.Degraded, resp.Reason),
+				Want: fmt.Sprintf("degraded=true reason=%q", wantReason),
+				Msg:  "quarantined model must be answered by the declared degradation path"})
+			continue
+		}
+		ring := trace.Trace{Samples: samples[r : r+wopts.History]}
+		w := trace.MakeWindow(&ring, 0, 0, sc, wopts)
+		want := hm.Predict(w)
+		if len(resp.ForecastMbps) != len(want) {
+			out = append(out, Violation{Check: name,
+				Path: fmt.Sprintf("request[%d]", r),
+				Got:  fmt.Sprintf("%d steps", len(resp.ForecastMbps)),
+				Want: fmt.Sprintf("%d steps", len(want)),
+				Msg:  "degraded forecast horizon mismatch"})
+			continue
+		}
+		for i, v := range want {
+			wantMbps := sc.InvertTput(v)
+			if math.Float64bits(resp.ForecastMbps[i]) != math.Float64bits(wantMbps) {
+				out = append(out, Violation{Check: name,
+					Path: fmt.Sprintf("request[%d].forecast[%d]", r, i),
+					Got:  fmt.Sprintf("%v", resp.ForecastMbps[i]),
+					Want: fmt.Sprintf("%v", wantMbps),
+					Msg:  "degraded forecast differs from the harmonic-mean fallback bit-for-bit"})
+			}
+		}
+	}
+	if srv.BreakerState() != serve.BreakerOpen {
+		out = append(out, Violation{Check: name,
+			Got: srv.BreakerState().String(), Want: serve.BreakerOpen.String(),
+			Msg: "breaker must be open after a model fault at threshold 1"})
+	}
+	return out
+}

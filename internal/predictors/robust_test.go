@@ -189,8 +189,8 @@ func TestResilientRecoversTrainPanic(t *testing.T) {
 	if !rep.Fallback {
 		t.Fatal("report does not flag the fallback")
 	}
-	if !r.Demoted() || r.TrainPanics != 1 {
-		t.Fatalf("wrapper state wrong: demoted=%v panics=%d", r.Demoted(), r.TrainPanics)
+	if !r.Demoted() || r.TrainPanicCount() != 1 {
+		t.Fatalf("wrapper state wrong: demoted=%v panics=%d", r.Demoted(), r.TrainPanicCount())
 	}
 	y := r.Predict(mkWindow(10, 10, 0.4))
 	if len(y) != 10 {
@@ -207,8 +207,8 @@ func TestResilientRecoversPredictPanic(t *testing.T) {
 	r := NewResilient(&panicky{predictPanics: true}, 10)
 	r.Train(nil, nil)
 	y := r.Predict(mkWindow(10, 10, 0.4))
-	if r.PredictPanics != 1 {
-		t.Fatalf("PredictPanics=%d, want 1", r.PredictPanics)
+	if r.PredictPanicCount() != 1 {
+		t.Fatalf("PredictPanicCount=%d, want 1", r.PredictPanicCount())
 	}
 	if len(y) != 10 {
 		t.Fatalf("fallback predict returned %d steps", len(y))
@@ -218,8 +218,8 @@ func TestResilientRecoversPredictPanic(t *testing.T) {
 func TestResilientSanitizesNaNOutput(t *testing.T) {
 	r := NewResilient(&panicky{nanOutput: true}, 10)
 	y := r.Predict(mkWindow(10, 10, 0.4))
-	if r.Sanitized != 1 {
-		t.Fatalf("Sanitized=%d, want 1", r.Sanitized)
+	if r.SanitizedCount() != 1 {
+		t.Fatalf("SanitizedCount=%d, want 1", r.SanitizedCount())
 	}
 	for i, v := range y {
 		if !finite(v) {

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"prism5g/internal/obs"
+)
+
+// BreakerState enumerates the circuit breaker's three states.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow to the model; failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the model is quarantined; every request answers from
+	// the harmonic-mean fallback until the probe timer expires.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is in flight against the model;
+	// everyone else still gets the fallback.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is the per-predictor circuit breaker: it trips open after
+// Threshold consecutive model failures (recovered panics, non-finite
+// forecasts), quarantines the model for OpenFor, then half-opens and lets
+// exactly one probe request through. A successful probe closes the
+// breaker; a failed one re-opens it for another OpenFor.
+//
+// All methods are safe for concurrent use. The clock is injectable so the
+// conformance harness can drive state transitions deterministically.
+type Breaker struct {
+	threshold int
+	openFor   time.Duration
+	now       func() time.Time
+	reg       *obs.Registry
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive
+// failures and probing after openFor. A nil now uses the wall clock.
+func NewBreaker(threshold int, openFor time.Duration, now func() time.Time, reg *obs.Registry) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if openFor <= 0 {
+		openFor = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, openFor: openFor, now: now, reg: reg}
+}
+
+// Allow reports whether a request may run real inference. probe is true
+// when the caller has been elected the half-open probe and must report its
+// outcome with Record(ok, true).
+func (b *Breaker) Allow() (proceed, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.openFor {
+			b.state = BreakerHalfOpen
+			b.reg.Add("serve.breaker_probes", 1)
+			return true, true
+		}
+		return false, false
+	default: // BreakerHalfOpen: a probe is already in flight.
+		return false, false
+	}
+}
+
+// Record reports one inference outcome. probe must echo the flag Allow
+// returned for this request.
+func (b *Breaker) Record(ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		if b.state != BreakerHalfOpen {
+			return // a swap or concurrent transition already moved on
+		}
+		if ok {
+			b.state = BreakerClosed
+			b.fails = 0
+			b.reg.Add("serve.breaker_closed", 1)
+			b.reg.Emit("serve.breaker", map[string]any{"state": "closed"})
+		} else {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.reg.Add("serve.breaker_reopened", 1)
+			b.reg.Emit("serve.breaker", map[string]any{"state": "reopened"})
+		}
+		return
+	}
+	if b.state != BreakerClosed {
+		return
+	}
+	if ok {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.reg.Add("serve.breaker_opened", 1)
+		b.reg.Emit("serve.breaker", map[string]any{"state": "open", "consecutive_failures": b.fails})
+	}
+}
+
+// State returns the current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Reset closes the breaker and zeroes the failure count — used when a new
+// model is swapped in (its health history starts fresh).
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"prism5g/internal/obs"
+)
+
+// fakeClock is a hand-advanced clock for deterministic breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	c := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(3, 10*time.Second, c.now, obs.New())
+	// Interleaved successes reset the streak.
+	b.Record(false, false)
+	b.Record(false, false)
+	b.Record(true, false)
+	b.Record(false, false)
+	b.Record(false, false)
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker opened before threshold consecutive failures")
+	}
+	b.Record(false, false)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker closed after threshold consecutive failures")
+	}
+	if proceed, _ := b.Allow(); proceed {
+		t.Fatal("open breaker allowed a request before the probe window")
+	}
+}
+
+func TestBreakerProbeSchedule(t *testing.T) {
+	c := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(1, 10*time.Second, c.now, obs.New())
+	b.Record(false, false)
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold-1 breaker did not open")
+	}
+	c.advance(11 * time.Second)
+	proceed, probe := b.Allow()
+	if !proceed || !probe {
+		t.Fatalf("expired open window: proceed=%v probe=%v, want probe", proceed, probe)
+	}
+	// Only one probe at a time.
+	if proceed, _ := b.Allow(); proceed {
+		t.Fatal("second request allowed during half-open")
+	}
+	// Failed probe re-opens for another full window.
+	b.Record(false, true)
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not re-open")
+	}
+	if proceed, _ := b.Allow(); proceed {
+		t.Fatal("re-opened breaker allowed a request immediately")
+	}
+	c.advance(11 * time.Second)
+	proceed, probe = b.Allow()
+	if !proceed || !probe {
+		t.Fatal("second probe window did not open")
+	}
+	b.Record(true, true)
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if proceed, probe := b.Allow(); !proceed || probe {
+		t.Fatalf("closed breaker: proceed=%v probe=%v", proceed, probe)
+	}
+}

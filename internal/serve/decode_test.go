@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"prism5g/internal/trace"
+)
+
+func TestDecodeRequestValid(t *testing.T) {
+	body, err := json.Marshal(Request{Session: "ue-1", Samples: mkSamples(3, 50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := DecodeRequest(body, 64)
+	if err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	if req.Session != "ue-1" || len(req.Samples) != 3 {
+		t.Fatalf("decoded %q/%d samples", req.Session, len(req.Samples))
+	}
+}
+
+func TestDecodeRequestNaNFeatureRoundTrip(t *testing.T) {
+	// A NaN per-CC sensor reading encodes as null (the trace JSON
+	// convention) and must decode back to NaN without being rejected —
+	// the serving path degrades such windows, the boundary accepts them.
+	samples := mkSamples(1, 50)
+	samples[0].CCs[0].Vec[trace.FSINR] = math.NaN()
+	body, err := json.Marshal(Request{Session: "ue", Samples: samples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "null") {
+		t.Fatalf("NaN did not encode as null: %s", body)
+	}
+	req, err := DecodeRequest(body, 64)
+	if err != nil {
+		t.Fatalf("NaN-bearing payload rejected: %v", err)
+	}
+	if !math.IsNaN(req.Samples[0].CCs[0].Vec[trace.FSINR]) {
+		t.Fatal("null did not decode back to NaN")
+	}
+}
+
+func TestDecodeRequestRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", ""},
+		{"truncated", `{"session":"x","samples":[{"T":0`},
+		{"array", `[]`},
+		{"no-session", `{"samples":[{"T":0,"AggTput":1}]}`},
+		{"blank-session", `{"session":"","samples":[{"T":0,"AggTput":1}]}`},
+		{"no-samples", `{"session":"x","samples":[]}`},
+		{"too-many-samples", func() string {
+			b, _ := json.Marshal(Request{Session: "x", Samples: mkSamples(65, 1)})
+			return string(b)
+		}()},
+		{"overflow-tput", `{"session":"x","samples":[{"T":0,"AggTput":1e999}]}`},
+		{"negative-tput", `{"session":"x","samples":[{"T":0,"AggTput":-1}]}`},
+		{"overflow-time", `{"session":"x","samples":[{"T":1e999,"AggTput":1}]}`},
+		{"cc-count-high", `{"session":"x","samples":[{"T":0,"AggTput":1,"NumActiveCCs":12}]}`},
+		{"cc-count-negative", `{"session":"x","samples":[{"T":0,"AggTput":1,"NumActiveCCs":-1}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeRequest([]byte(tc.body), 64)
+			if err == nil {
+				t.Fatalf("payload accepted: %s", tc.body)
+			}
+			var re *RequestError
+			if !asRequestError(err, &re) {
+				t.Fatalf("error is not a RequestError: %v", err)
+			}
+			if re.Status != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", re.Status)
+			}
+		})
+	}
+}
+
+func asRequestError(err error, target **RequestError) bool {
+	re, ok := err.(*RequestError)
+	if ok {
+		*target = re
+	}
+	return ok
+}

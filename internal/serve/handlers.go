@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler returns the server's route table:
+//
+//	POST /v1/forecast  — stream samples, get a forecast (or 429/400/413)
+//	GET  /healthz      — liveness: 200 while the process serves at all
+//	GET  /readyz       — readiness: 503 while warming up or draining
+//	GET  /metrics      — obs registry snapshot (JSON)
+//	GET  /statusz      — model, breaker, queue and session state
+//	POST /admin/swap   — atomic model hot-swap with old-model draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/forecast", s.handleForecast)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/admin/swap", s.handleSwap)
+	return mux
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() || !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	start := time.Now()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.reg.Add("serve.rejected_oversize", 1)
+			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		// Slow-loris bodies die here on the read deadline; the client
+		// never held anything but its own connection.
+		s.reg.Add("serve.rejected_body_read", 1)
+		http.Error(w, "body read failed", http.StatusBadRequest)
+		return
+	}
+	req, err := DecodeRequest(body, s.cfg.MaxSamples)
+	if err != nil {
+		s.reg.Add("serve.rejected_malformed", 1)
+		var re *RequestError
+		if errors.As(err, &re) {
+			http.Error(w, re.Msg, re.Status)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, status := s.forecast(r.Context(), req)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		http.Error(w, "queue full", status)
+		return
+	}
+	s.reg.Observe("serve.latency_s", time.Since(start).Seconds())
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() || !s.ready.Load() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ready\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	s.reg.WriteJSON(w) //nolint:errcheck // best effort on a metrics scrape
+}
+
+// statuszBody is the /statusz payload.
+type statuszBody struct {
+	Model     string `json:"model"`
+	Breaker   string `json:"breaker"`
+	Queued    int64  `json:"queued"`
+	InFlight  int    `json:"in_flight"`
+	Sessions  int    `json:"sessions"`
+	Draining  bool   `json:"draining"`
+	History   int    `json:"history"`
+	Horizon   int    `json:"horizon"`
+	QueueCap  int    `json:"queue_cap"`
+	Deadline  string `json:"deadline"`
+	Fallbacks string `json:"degradation_fallback"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statuszBody{
+		Model:     s.ModelName(),
+		Breaker:   s.breaker.State().String(),
+		Queued:    s.gate.depth(),
+		InFlight:  s.gate.inFlight(),
+		Sessions:  s.sessions.len(),
+		Draining:  s.draining.Load(),
+		History:   s.cfg.History,
+		Horizon:   s.cfg.Horizon,
+		QueueCap:  s.cfg.QueueCap,
+		Deadline:  s.cfg.Deadline.String(),
+		Fallbacks: s.fallback.Name(),
+	})
+}
+
+// swapRequest is the /admin/swap payload.
+type swapRequest struct {
+	Model string `json:"model"`
+}
+
+// swapResponse reports the swap outcome.
+type swapResponse struct {
+	Old     string `json:"old"`
+	New     string `json:"new"`
+	Drained bool   `json:"drained"`
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.cfg.Build == nil {
+		http.Error(w, "no model factory configured", http.StatusNotImplemented)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4096))
+	if err != nil {
+		http.Error(w, "body read failed", http.StatusBadRequest)
+		return
+	}
+	var req swapRequest
+	if err := json.Unmarshal(body, &req); err != nil || req.Model == "" {
+		http.Error(w, `want {"model": "<name>"}`, http.StatusBadRequest)
+		return
+	}
+	old, drained, err := s.Swap(req.Model)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, swapResponse{Old: old, New: req.Model, Drained: drained})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}

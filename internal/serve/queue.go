@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// admitResult is the outcome of asking the gate for an inference slot.
+type admitResult int
+
+const (
+	// admitOK: a slot was acquired; the caller must release() it.
+	admitOK admitResult = iota
+	// admitShed: the waiting room is full; answer 429 with Retry-After.
+	admitShed
+	// admitTimeout: the request's deadline expired while queued; answer
+	// with the degraded (fallback) forecast instead of dropping it.
+	admitTimeout
+)
+
+// gate bounds the server's concurrency with explicit backpressure: at most
+// `concurrency` requests run inference at once, at most `queueCap` more
+// wait for a slot, and everything beyond that is shed immediately. Nothing
+// in the admission path allocates a goroutine, so overload cannot grow the
+// process — the whole point of the waiting room being bounded.
+type gate struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	queueCap int64
+}
+
+func newGate(concurrency, queueCap int) *gate {
+	if concurrency <= 0 {
+		concurrency = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	return &gate{slots: make(chan struct{}, concurrency), queueCap: int64(queueCap)}
+}
+
+// admit tries to acquire an inference slot, waiting in the bounded queue
+// until ctx expires. It returns the outcome and the time spent queued.
+func (g *gate) admit(ctx context.Context) (admitResult, time.Duration) {
+	// Fast path: a slot is free right now.
+	select {
+	case g.slots <- struct{}{}:
+		return admitOK, 0
+	default:
+	}
+	if g.queued.Add(1) > g.queueCap {
+		g.queued.Add(-1)
+		return admitShed, 0
+	}
+	start := time.Now()
+	defer g.queued.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return admitOK, time.Since(start)
+	case <-ctx.Done():
+		return admitTimeout, time.Since(start)
+	}
+}
+
+// release returns a slot acquired by admit.
+func (g *gate) release() { <-g.slots }
+
+// depth returns the number of requests currently queued.
+func (g *gate) depth() int64 { return g.queued.Load() }
+
+// inFlight returns the number of slots currently held.
+func (g *gate) inFlight() int { return len(g.slots) }

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestGateFastPath(t *testing.T) {
+	g := newGate(2, 4)
+	for i := 0; i < 2; i++ {
+		if res, _ := g.admit(context.Background()); res != admitOK {
+			t.Fatalf("admit %d: %v, want admitOK", i, res)
+		}
+	}
+	if g.inFlight() != 2 {
+		t.Fatalf("inFlight=%d, want 2", g.inFlight())
+	}
+	g.release()
+	g.release()
+	if g.inFlight() != 0 {
+		t.Fatalf("inFlight=%d after release, want 0", g.inFlight())
+	}
+}
+
+func TestGateShedsBeyondQueueCap(t *testing.T) {
+	g := newGate(1, 2)
+	ctx := context.Background()
+	if res, _ := g.admit(ctx); res != admitOK {
+		t.Fatal("first admit should get the slot")
+	}
+	// Fill the waiting room with two blocked admits.
+	results := make(chan admitResult, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			res, _ := g.admit(ctx)
+			results <- res
+		}()
+	}
+	// Wait until both are queued.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.depth() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth %d, want 2", g.depth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The third waiter exceeds the cap and is shed immediately.
+	if res, _ := g.admit(ctx); res != admitShed {
+		t.Fatal("over-cap admit was not shed")
+	}
+	// Releasing lets the queued admits through in some order.
+	g.release()
+	if res := <-results; res != admitOK {
+		t.Fatalf("queued admit got %v", res)
+	}
+	g.release()
+	if res := <-results; res != admitOK {
+		t.Fatalf("queued admit got %v", res)
+	}
+}
+
+func TestGateTimesOutWhileQueued(t *testing.T) {
+	g := newGate(1, 2)
+	if res, _ := g.admit(context.Background()); res != admitOK {
+		t.Fatal("first admit should get the slot")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	res, waited := g.admit(ctx)
+	if res != admitTimeout {
+		t.Fatalf("admit under held slot: %v, want admitTimeout", res)
+	}
+	if waited <= 0 {
+		t.Fatal("timeout admit reported zero queue wait")
+	}
+	if g.depth() != 0 {
+		t.Fatalf("queue depth %d after timeout, want 0", g.depth())
+	}
+}

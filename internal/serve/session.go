@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"prism5g/internal/obs"
+	"prism5g/internal/trace"
+)
+
+// session is one UE's sliding feature window: a fixed-capacity ring of the
+// most recent samples. Memory per session is bounded by the history length
+// at construction and never grows.
+type session struct {
+	mu   sync.Mutex
+	buf  []trace.Sample // ring storage, len == capacity == history
+	head int            // index of the oldest sample
+	n    int            // number of valid samples (≤ len(buf))
+}
+
+// push appends samples, overwriting the oldest once the ring is full.
+func (s *session) push(samples []trace.Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sm := range samples {
+		if s.n < len(s.buf) {
+			s.buf[(s.head+s.n)%len(s.buf)] = sm
+			s.n++
+		} else {
+			s.buf[s.head] = sm
+			s.head = (s.head + 1) % len(s.buf)
+		}
+	}
+}
+
+// snapshot returns the samples in time order and whether the ring holds a
+// full history. The copy means inference never races session updates.
+func (s *session) snapshot() ([]trace.Sample, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]trace.Sample, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.buf[(s.head+i)%len(s.buf)]
+	}
+	return out, s.n == len(s.buf)
+}
+
+// count returns the number of buffered samples.
+func (s *session) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// sessionStore owns every live session under two bounds: a hard cap on the
+// session count (inserting past it evicts the least-recently-used session)
+// and an idle TTL enforced by the janitor. Total memory is therefore
+// O(MaxSessions × History) regardless of how many distinct session IDs the
+// traffic invents.
+//
+// Lock order: store.mu before session.mu, never the reverse.
+type sessionStore struct {
+	history int
+	max     int
+	now     func() time.Time
+	reg     *obs.Registry
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	lastSeen map[string]time.Time
+}
+
+func newSessionStore(history, max int, now func() time.Time, reg *obs.Registry) *sessionStore {
+	if history <= 0 {
+		history = 10
+	}
+	if max <= 0 {
+		max = 10000
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &sessionStore{
+		history:  history,
+		max:      max,
+		now:      now,
+		reg:      reg,
+		sessions: map[string]*session{},
+		lastSeen: map[string]time.Time{},
+	}
+}
+
+// touch returns the session for id, creating it if needed, and refreshes
+// its recency. Creating past the cap evicts the least-recently-used
+// session so memory stays bounded under session-churn abuse.
+func (st *sessionStore) touch(id string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.sessions[id]
+	if !ok {
+		if len(st.sessions) >= st.max {
+			st.evictLRULocked()
+		}
+		s = &session{buf: make([]trace.Sample, st.history)}
+		st.sessions[id] = s
+	}
+	st.lastSeen[id] = st.now()
+	st.reg.Set("serve.sessions_active", float64(len(st.sessions)))
+	return s
+}
+
+// evictLRULocked removes the least-recently-seen session. Caller holds mu.
+func (st *sessionStore) evictLRULocked() {
+	var victim string
+	var oldest time.Time
+	first := true
+	for id, t := range st.lastSeen {
+		if first || t.Before(oldest) {
+			victim, oldest, first = id, t, false
+		}
+	}
+	if !first {
+		delete(st.sessions, victim)
+		delete(st.lastSeen, victim)
+		st.reg.Add("serve.sessions_evicted_lru", 1)
+	}
+}
+
+// evictIdle removes sessions idle longer than ttl and returns how many.
+func (st *sessionStore) evictIdle(ttl time.Duration) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cutoff := st.now().Add(-ttl)
+	evicted := 0
+	for id, t := range st.lastSeen {
+		if t.Before(cutoff) {
+			delete(st.sessions, id)
+			delete(st.lastSeen, id)
+			evicted++
+		}
+	}
+	if evicted > 0 {
+		st.reg.Add("serve.sessions_evicted_idle", int64(evicted))
+		st.reg.Set("serve.sessions_active", float64(len(st.sessions)))
+	}
+	return evicted
+}
+
+// len returns the live session count.
+func (st *sessionStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sessions)
+}

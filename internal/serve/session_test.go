@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"prism5g/internal/obs"
+)
+
+func TestSessionRing(t *testing.T) {
+	st := newSessionStore(4, 10, nil, obs.New())
+	s := st.touch("ue")
+	s.push(mkSamples(3, 100))
+	if _, full := s.snapshot(); full {
+		t.Fatal("3 samples reported as a full 4-history")
+	}
+	s.push(mkSamples(3, 500)) // overflows: ring keeps the last 4
+	snap, full := s.snapshot()
+	if !full || len(snap) != 4 {
+		t.Fatalf("snapshot len=%d full=%v, want 4/true", len(snap), full)
+	}
+	// The last four pushed samples, in order: [100+20, 500, 510, 520].
+	want := []float64{120, 500, 510, 520}
+	for i, w := range want {
+		if snap[i].AggTput != w {
+			t.Fatalf("snap[%d].AggTput=%g, want %g", i, snap[i].AggTput, w)
+		}
+	}
+}
+
+func TestSessionStoreLRUEviction(t *testing.T) {
+	clock := time.Unix(0, 0)
+	now := func() time.Time { clock = clock.Add(time.Second); return clock }
+	st := newSessionStore(4, 3, now, obs.New())
+	for i := 0; i < 3; i++ {
+		st.touch(fmt.Sprintf("ue-%d", i))
+	}
+	st.touch("ue-0") // refresh: ue-1 is now the LRU
+	st.touch("ue-3") // over cap → evicts ue-1
+	if st.len() != 3 {
+		t.Fatalf("store holds %d sessions, want 3", st.len())
+	}
+	st.mu.Lock()
+	_, has1 := st.sessions["ue-1"]
+	_, has0 := st.sessions["ue-0"]
+	st.mu.Unlock()
+	if has1 || !has0 {
+		t.Fatalf("LRU eviction picked the wrong victim: has ue-1=%v ue-0=%v", has1, has0)
+	}
+}
+
+func TestSessionStoreIdleEviction(t *testing.T) {
+	clock := time.Unix(0, 0)
+	var mu sync.Mutex
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+	st := newSessionStore(4, 10, now, obs.New())
+	st.touch("old")
+	mu.Lock()
+	clock = clock.Add(5 * time.Minute)
+	mu.Unlock()
+	st.touch("fresh")
+	if n := st.evictIdle(2 * time.Minute); n != 1 {
+		t.Fatalf("evicted %d sessions, want 1", n)
+	}
+	st.mu.Lock()
+	_, hasOld := st.sessions["old"]
+	_, hasFresh := st.sessions["fresh"]
+	st.mu.Unlock()
+	if hasOld || !hasFresh {
+		t.Fatalf("idle eviction wrong: old=%v fresh=%v", hasOld, hasFresh)
+	}
+}

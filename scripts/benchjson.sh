@@ -9,12 +9,24 @@
 #   {"name": "BenchmarkTrainLoop", "iterations": 1,
 #    "ns_per_op": 30454681, "bytes_per_op": 15711640, "allocs_per_op": 177211}
 #
+# Results are wrapped in an object with a `host` block (GOMAXPROCS, CPU
+# count, CPU model, Go version) so numbers are never compared across
+# machines by accident:
+#
+#   {"host": {"go_max_procs": 1, ...}, "benchmarks": [...]}
+#
 # Default output is BENCH_obs.json in the repository root. The raw bench
 # text is echoed to stderr so interactive runs stay readable.
 set -eu
 
 out=${1:-BENCH_obs.json}
 GO=${GO:-go}
+
+ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+# GOMAXPROCS defaults to the CPU count unless overridden in the environment.
+gomaxprocs=${GOMAXPROCS:-$ncpu}
+goversion=$($GO version | awk '{print $3}')
+cpumodel=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -32,7 +44,7 @@ cat "$tmp" >&2
 #   BenchmarkRepair    1    1165891 ns/op    1312544 B/op    48 allocs/op
 # Sub-benchmarks carry a /suffix and a -N CPU suffix; both are kept in the
 # name so entries stay unique.
-awk '
+awk -v gmp="$gomaxprocs" -v ncpu="$ncpu" -v gover="$goversion" -v cpu="$cpumodel" '
 $1 ~ /^Benchmark/ && $NF == "allocs/op" {
     name = $1
     iters = $2
@@ -44,11 +56,16 @@ $1 ~ /^Benchmark/ && $NF == "allocs/op" {
     }
     if (ns == "" || bytes == "") next
     if (n++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
         name, iters, ns, bytes, $(NF-1)
 }
-BEGIN { printf "[\n" }
-END   { printf "\n]\n" }
+BEGIN {
+    printf "{\n"
+    printf "  \"host\": {\"go_max_procs\": %s, \"num_cpu\": %s, \"go_version\": \"%s\", \"cpu\": \"%s\"},\n", \
+        gmp, ncpu, gover, cpu
+    printf "  \"benchmarks\": [\n"
+}
+END   { printf "\n  ]\n}\n" }
 ' "$tmp" >"$out"
 
 echo "benchjson: wrote $(grep -c '"name"' "$out") benchmarks to $out" >&2
