@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race fuzz-smoke bench bench-json obs-smoke serve-smoke conform golden cover check
+.PHONY: build vet test test-race fuzz-smoke bench bench-json alloc-gate obs-smoke serve-smoke conform golden cover check
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,15 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # Headline benchmarks (parallel build, Table 4 fan-out, training loop,
-# ingest repair) rendered as BENCH_obs.json for machine comparison.
+# window extraction, ingest repair) rendered as BENCH_obs.json for machine
+# comparison. BENCHTIME/COUNT env vars control stability vs speed.
 bench-json:
 	./scripts/benchjson.sh
+
+# Allocation-regression gate: re-measure the two hot-path benchmarks and
+# fail if allocs/op regressed >20% against the checked-in BENCH_obs.json.
+alloc-gate:
+	./scripts/allocgate.sh
 
 # Telemetry smoke: a quick instrumented run must produce a parseable
 # metrics snapshot covering the sim, par, trace and train stages.

@@ -272,6 +272,9 @@ func BenchmarkParallelBuild(b *testing.B) {
 					Modem: ran.ModemX70, Workers: workers,
 				})
 			}
+			// Simulated traces generated per second — a tracked headline
+			// number alongside windows/s (see BENCH_obs.json).
+			b.ReportMetric(float64(8*b.N)/b.Elapsed().Seconds(), "traces/s")
 		})
 	}
 }

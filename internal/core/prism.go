@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"prism5g/internal/nn"
 	"prism5g/internal/predictors"
@@ -70,39 +71,73 @@ func DefaultOptions() Options {
 	}
 }
 
+// rnnScratch holds one carrier slot's reusable backbone tape. Weight
+// sharing shares parameters, never tapes: every carrier records its own
+// forward pass.
+type rnnScratch struct {
+	lstm nn.LSTMTape
+	gru  nn.GRUTape
+	gh   [][]float64 // hidden-grad spine for the backward closure
+}
+
+func (s *rnnScratch) ghSpine(T int) [][]float64 {
+	if cap(s.gh) < T {
+		s.gh = make([][]float64, T)
+	}
+	gh := s.gh[:T]
+	for i := range gh {
+		gh[i] = nil
+	}
+	return gh
+}
+
 // rnn abstracts the per-CC recurrent backbone so LSTM and GRU are
 // interchangeable: forward returns the final hidden state and a backward
 // closure that consumes dL/dh_last.
 type rnn interface {
 	Params() []*nn.Param
-	run(seq [][]float64) (last []float64, backward func(gLast []float64))
+	run(s *rnnScratch, seq [][]float64) (last []float64, backward func(gLast []float64))
 }
 
 type lstmBackbone struct{ m *nn.LSTM }
 
 func (b lstmBackbone) Params() []*nn.Param { return b.m.Params() }
-func (b lstmBackbone) run(seq [][]float64) ([]float64, func([]float64)) {
-	hs, tape := b.m.Forward(seq)
+func (b lstmBackbone) run(s *rnnScratch, seq [][]float64) ([]float64, func([]float64)) {
+	hs := b.m.ForwardTape(&s.lstm, seq, nil, nil)
 	last := hs[len(hs)-1]
 	return last, func(g []float64) {
-		gh := make([][]float64, len(hs))
+		gh := s.ghSpine(len(hs))
 		gh[len(hs)-1] = g
-		b.m.Backward(tape, gh)
+		b.m.Backward(&s.lstm, gh)
 	}
 }
 
 type gruBackbone struct{ m *nn.GRU }
 
 func (b gruBackbone) Params() []*nn.Param { return b.m.Params() }
-func (b gruBackbone) run(seq [][]float64) ([]float64, func([]float64)) {
-	hs, tape := b.m.Forward(seq)
+func (b gruBackbone) run(s *rnnScratch, seq [][]float64) ([]float64, func([]float64)) {
+	hs := b.m.ForwardTape(&s.gru, seq)
 	last := hs[len(hs)-1]
 	return last, func(g []float64) {
-		gh := make([][]float64, len(hs))
+		gh := s.ghSpine(len(hs))
 		gh[len(hs)-1] = g
-		b.m.Backward(tape, gh)
+		b.m.Backward(&s.gru, gh)
 	}
 }
+
+// prismScratch bundles every reusable buffer of one forward/backward pass:
+// per-carrier backbone tapes, fusion and head MLP tapes, and a bump arena
+// for the glue vectors. Kept in a sync.Pool so concurrent Predict calls
+// (the serving path) each grab their own.
+type prismScratch struct {
+	rnns   [trace.MaxCC]rnnScratch
+	ftape  nn.MLPTape
+	htapes [trace.MaxCC]nn.MLPTape
+	ar     nn.Arena
+}
+
+// zeroFeat is the shared gated-off input row: read-only zeros.
+var zeroFeat = make([]float64, trace.NumCCFeatures)
 
 // Prism5G is the CA-aware throughput predictor.
 type Prism5G struct {
@@ -115,6 +150,8 @@ type Prism5G struct {
 	fusion *nn.MLP   // (C*Hidden + Hidden) -> Hidden, θ2
 	head   *nn.MLP   // Hidden -> Horizon, shared θ3
 	histT  int       // history length inferred at first use (for embed)
+
+	pool sync.Pool // *prismScratch
 }
 
 // New builds a Prism5G model with history length T (the embedding layer's
@@ -126,6 +163,7 @@ func New(opts Options, historyT int) *Prism5G {
 	src := rng.New(opts.Train.Seed ^ 0x9515)
 	h := opts.Hidden
 	p := &Prism5G{Opts: opts, histT: historyT}
+	p.pool.New = func() any { return &prismScratch{} }
 	numRNNs := 1
 	if !opts.SharedWeights {
 		numRNNs = trace.MaxCC
@@ -208,17 +246,21 @@ func gate(w trace.Window, c, t int) float64 {
 
 // forward runs the model on one window. It returns the aggregate prediction
 // and, when backprop is requested (gScale > 0), performs the full joint
-// backward pass including the auxiliary per-CC loss.
+// backward pass including the auxiliary per-CC loss. All intermediates come
+// from pooled scratch; only the returned prediction is freshly allocated
+// (callers may hold or mutate it).
 func (p *Prism5G) forward(w trace.Window, gScale float64) []float64 {
 	C := trace.MaxCC
 	T := p.histT
 	H := p.Opts.Hidden
+	s := p.pool.Get().(*prismScratch)
+	s.ar.Reset()
 
 	// --- Per-CC inputs with state gating ---
-	seqs := make([][][]float64, C)
-	maskFlat := make([]float64, C*T)
+	maskFlat := s.ar.Floats(C * T)
+	seqs := s.ar.Rows(C * T) // C stacked T-row spines
 	for c := 0; c < C; c++ {
-		seq := make([][]float64, T)
+		seq := seqs[c*T : (c+1)*T]
 		for t := 0; t < T; t++ {
 			g := 1.0
 			if p.Opts.UseState {
@@ -228,85 +270,81 @@ func (p *Prism5G) forward(w trace.Window, gScale float64) []float64 {
 			if g == 1 {
 				seq[t] = w.X[c][t]
 			} else {
-				seq[t] = zeroVec(trace.NumCCFeatures)
+				seq[t] = zeroFeat
 			}
 		}
-		seqs[c] = seq
 	}
 
 	// --- Shared (or per-CC) RNN ---
-	hcs := make([][]float64, C)
-	backs := make([]func([]float64), C)
+	hcs := s.ar.Rows(C)
+	var backs [trace.MaxCC]func([]float64)
 	for c := 0; c < C; c++ {
-		hcs[c], backs[c] = p.rnnFor(c).run(seqs[c])
+		hcs[c], backs[c] = p.rnnFor(c).run(&s.rnns[c], seqs[c*T:(c+1)*T])
 	}
 
 	// --- Embedding + fusion ---
 	var emb []float64
 	var fin []float64
-	var ftape *nn.MLPTape
-	hf := zeroVec(H)
+	hf := s.ar.Floats(H)
 	if p.Opts.UseFusion {
-		fin = make([]float64, 0, C*H+H)
+		fin = s.ar.Floats(C*H + H)
 		for c := 0; c < C; c++ {
-			fin = append(fin, hcs[c]...)
+			copy(fin[c*H:(c+1)*H], hcs[c])
 		}
 		if p.Opts.UseState {
-			emb = p.embed.Forward(maskFlat)
+			emb = p.embed.ForwardInto(s.ar.Floats(H), maskFlat)
 		} else {
-			emb = zeroVec(H)
+			emb = s.ar.Floats(H)
 		}
-		fin = append(fin, emb...)
-		hf, ftape = p.fusion.Forward(fin)
+		copy(fin[C*H:], emb)
+		hf = p.fusion.ForwardTape(&s.ftape, fin)
 	}
 
 	// --- Per-CC heads and aggregate ---
 	ypred := make([]float64, p.Opts.Horizon)
-	hPrimes := make([][]float64, C)
-	htapes := make([]*nn.MLPTape, C)
-	ycs := make([][]float64, C)
+	hPrimes := s.ar.Matrix(C, H)
+	ycs := s.ar.Rows(C)
 	for c := 0; c < C; c++ {
-		hp := make([]float64, H)
+		hp := hPrimes[c]
 		for i := 0; i < H; i++ {
 			hp[i] = hcs[c][i] + hf[i]
 		}
-		hPrimes[c] = hp
-		yc, ht := p.head.Forward(hp)
-		htapes[c] = ht
-		ycs[c] = yc
+		ycs[c] = p.head.ForwardTape(&s.htapes[c], hp)
 		for h := 0; h < p.Opts.Horizon; h++ {
-			ypred[h] += yc[h]
+			ypred[h] += ycs[c][h]
 		}
 	}
 	if gScale <= 0 {
+		p.pool.Put(s)
 		return ypred
 	}
 
 	// --- Backward ---
 	// Aggregate loss gradient reaches every head equally; auxiliary
 	// per-CC loss adds a direct term.
-	gAgg := nn.MSEGrad(ypred, w.Y)
-	ghf := zeroVec(H)
-	ghcs := make([][]float64, C)
+	gAgg := nn.MSEGradInto(s.ar.Floats(p.Opts.Horizon), ypred, w.Y)
+	ghf := s.ar.Floats(H)
+	ghcs := s.ar.Rows(C)
+	gyc := s.ar.Floats(p.Opts.Horizon)
+	gaux := s.ar.Floats(p.Opts.Horizon)
 	for c := 0; c < C; c++ {
-		gyc := make([]float64, p.Opts.Horizon)
 		for h := 0; h < p.Opts.Horizon; h++ {
 			gyc[h] = gAgg[h] * gScale
 		}
 		if p.Opts.PerCCLossWeight > 0 {
-			gaux := nn.MSEGrad(ycs[c], w.YPerCC[c])
+			nn.MSEGradInto(gaux, ycs[c], w.YPerCC[c])
 			for h := range gyc {
 				gyc[h] += p.Opts.PerCCLossWeight * gScale * gaux[h] / float64(C)
 			}
 		}
-		ghp := p.head.Backward(htapes[c], gyc)
+		ghp := p.head.Backward(&s.htapes[c], gyc)
 		ghcs[c] = ghp
 		for i := 0; i < H; i++ {
 			ghf[i] += ghp[i]
 		}
 	}
 	if p.Opts.UseFusion {
-		gfin := p.fusion.Backward(ftape, ghf)
+		gfin := p.fusion.Backward(&s.ftape, ghf)
 		for c := 0; c < C; c++ {
 			for i := 0; i < H; i++ {
 				ghcs[c][i] += gfin[c*H+i]
@@ -314,12 +352,13 @@ func (p *Prism5G) forward(w trace.Window, gScale float64) []float64 {
 		}
 		if p.Opts.UseState {
 			gemb := gfin[C*H : C*H+H]
-			p.embed.Backward(maskFlat, gemb)
+			p.embed.BackwardInto(s.ar.Floats(C*T), maskFlat, gemb)
 		}
 	}
 	for c := 0; c < C; c++ {
 		backs[c](ghcs[c])
 	}
+	p.pool.Put(s)
 	return ypred
 }
 
@@ -345,11 +384,13 @@ func (p *Prism5G) PredictPerCC(w trace.Window) [][]float64 {
 	T := p.histT
 	H := p.Opts.Hidden
 	out := make([][]float64, C)
+	s := p.pool.Get().(*prismScratch)
+	s.ar.Reset()
 	// Re-run forward capturing per-CC heads (duplicated on purpose: the
 	// hot path in forward stays allocation-lean).
-	seq := make([][]float64, T)
-	hcs := make([][]float64, C)
-	maskFlat := make([]float64, C*T)
+	seq := s.ar.Rows(T)
+	hcs := s.ar.Rows(C)
+	maskFlat := s.ar.Floats(C * T)
 	for c := 0; c < C; c++ {
 		for t := 0; t < T; t++ {
 			g := 1.0
@@ -360,32 +401,30 @@ func (p *Prism5G) PredictPerCC(w trace.Window) [][]float64 {
 			if g == 1 {
 				seq[t] = w.X[c][t]
 			} else {
-				seq[t] = zeroVec(trace.NumCCFeatures)
+				seq[t] = zeroFeat
 			}
 		}
-		hcs[c], _ = p.rnnFor(c).run(seq)
+		hcs[c], _ = p.rnnFor(c).run(&s.rnns[c], seq)
 	}
-	hf := zeroVec(H)
+	hf := s.ar.Floats(H)
 	if p.Opts.UseFusion {
-		fin := make([]float64, 0, C*H+H)
+		fin := s.ar.Floats(C*H + H)
 		for c := 0; c < C; c++ {
-			fin = append(fin, hcs[c]...)
+			copy(fin[c*H:(c+1)*H], hcs[c])
 		}
 		if p.Opts.UseState {
-			fin = append(fin, p.embed.Forward(maskFlat)...)
-		} else {
-			fin = append(fin, zeroVec(H)...)
+			copy(fin[C*H:], p.embed.ForwardInto(s.ar.Floats(H), maskFlat))
 		}
-		hf, _ = p.fusion.Forward(fin)
+		hf = p.fusion.ForwardTape(&s.ftape, fin)
 	}
+	hp := s.ar.Floats(H)
 	for c := 0; c < C; c++ {
-		hp := make([]float64, H)
 		for i := 0; i < H; i++ {
 			hp[i] = hcs[c][i] + hf[i]
 		}
-		yc, _ := p.head.Forward(hp)
-		out[c] = yc
+		out[c] = append([]float64(nil), p.head.ForwardTape(&s.htapes[c], hp)...)
 	}
+	p.pool.Put(s)
 	return out
 }
 

@@ -77,7 +77,11 @@ func MSE(pred, target []float64) float64 {
 
 // MSEGrad returns dMSE/dpred.
 func MSEGrad(pred, target []float64) []float64 {
-	g := make([]float64, len(pred))
+	return MSEGradInto(make([]float64, len(pred)), pred, target)
+}
+
+// MSEGradInto is MSEGrad writing into a caller-owned buffer (len(pred)).
+func MSEGradInto(g, pred, target []float64) []float64 {
 	n := float64(len(pred))
 	for i := range pred {
 		g[i] = 2 * (pred[i] - target[i]) / n

@@ -26,21 +26,35 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 // Forward computes y = Wx + b.
 func (d *Dense) Forward(x []float64) []float64 {
 	y := make([]float64, d.Out)
-	for o := 0; o < d.Out; o++ {
-		s := d.B.W[o]
-		row := d.W.W[o*d.In : (o+1)*d.In]
-		for i, xv := range x {
-			s += row[i] * xv
-		}
-		y[o] = s
-	}
+	d.ForwardInto(y, x)
 	return y
+}
+
+// ForwardInto computes y = Wx + b into a caller-owned buffer (len Out),
+// allocating nothing.
+func (d *Dense) ForwardInto(y, x []float64) []float64 {
+	MatMulNT(y, x, 1, d.W.W, d.Out, d.In, d.B.W)
+	return y
+}
+
+// ForwardBatch computes Y = X Wᵀ + b for n stacked inputs (X is n*In,
+// Y is n*Out, both flat row-major) with the blocked batched kernel.
+func (d *Dense) ForwardBatch(Y, X []float64, n int) {
+	MatMulNT(Y, X, n, d.W.W, d.Out, d.In, d.B.W)
 }
 
 // Backward accumulates dL/dW and dL/db given the input x used in Forward and
 // the output gradient gy, and returns dL/dx.
 func (d *Dense) Backward(x, gy []float64) []float64 {
 	gx := make([]float64, d.In)
+	d.BackwardInto(gx, x, gy)
+	return gx
+}
+
+// BackwardInto is Backward writing dL/dx into a caller-owned buffer
+// (len In), which it zeroes first.
+func (d *Dense) BackwardInto(gx, x, gy []float64) []float64 {
+	clear(gx)
 	for o := 0; o < d.Out; o++ {
 		g := gy[o]
 		if g == 0 {
@@ -55,6 +69,17 @@ func (d *Dense) Backward(x, gy []float64) []float64 {
 		}
 	}
 	return gx
+}
+
+// BackwardBatch accumulates parameter gradients for a whole minibatch (X
+// is the n*In forward input, GY the n*Out output gradient) and writes the
+// input gradients into GX (n*In, zeroed first). Per gradient element the
+// samples accumulate in ascending batch order — exactly the order n
+// successive Backward calls would have used.
+func (d *Dense) BackwardBatch(GX, X, GY []float64, n int) {
+	clear(GX)
+	AccumGradNT(d.W.Grad, d.B.Grad, GY, n, d.Out, X, d.In)
+	AccumInputGradNT(GX, GY, n, d.Out, d.W.W, d.In)
 }
 
 // MLP is a stack of dense layers with ReLU between them (none after the
@@ -84,24 +109,40 @@ func (m *MLP) Params() []*Param {
 	return ps
 }
 
-// MLPTape records the intermediates of one MLP forward pass.
+// MLPTape records the intermediates of one MLP forward pass. A tape owned
+// by the caller can be reused across passes via ForwardTape: its arena is
+// rewound and the buffers are recycled, so steady-state passes allocate
+// nothing.
 type MLPTape struct {
 	// inputs[i] is the input to layer i (post-activation of i-1).
 	inputs [][]float64
 	// preact[i] is the pre-activation output of layer i.
 	preact [][]float64
+
+	ar   Arena
+	mark Mark // arena state after Forward; Backward rewinds here
 }
 
-// Forward runs the MLP, returning the output and the tape for Backward.
+// Forward runs the MLP, returning the output and a fresh tape for Backward.
 func (m *MLP) Forward(x []float64) ([]float64, *MLPTape) {
 	t := &MLPTape{}
+	return m.ForwardTape(t, x), t
+}
+
+// ForwardTape runs the MLP recording intermediates into a reusable tape,
+// and returns the output (a view into the tape, valid until its next use).
+func (m *MLP) ForwardTape(t *MLPTape, x []float64) []float64 {
+	t.ar.Reset()
+	n := len(m.Layers)
+	t.inputs = t.ar.Rows(n)
+	t.preact = t.ar.Rows(n)
 	cur := x
 	for li, l := range m.Layers {
-		t.inputs = append(t.inputs, cur)
-		y := l.Forward(cur)
-		t.preact = append(t.preact, y)
-		if li < len(m.Layers)-1 {
-			act := make([]float64, len(y))
+		t.inputs[li] = cur
+		y := l.ForwardInto(t.ar.Floats(l.Out), cur)
+		t.preact[li] = y
+		if li < n-1 {
+			act := t.ar.Floats(len(y))
 			for i, v := range y {
 				act[i] = ReLU(v)
 			}
@@ -110,17 +151,20 @@ func (m *MLP) Forward(x []float64) ([]float64, *MLPTape) {
 			cur = y
 		}
 	}
-	return cur, t
+	t.mark = t.ar.Mark()
+	return cur
 }
 
 // Backward propagates the output gradient, accumulating parameter grads and
-// returning the gradient with respect to the original input.
+// returning the gradient with respect to the original input (a view into
+// the tape's arena, valid until the tape's next use).
 func (m *MLP) Backward(t *MLPTape, gy []float64) []float64 {
+	t.ar.Rewind(t.mark)
 	g := gy
 	for li := len(m.Layers) - 1; li >= 0; li-- {
 		if li < len(m.Layers)-1 {
 			// Undo the ReLU applied after layer li.
-			masked := make([]float64, len(g))
+			masked := t.ar.Floats(len(g))
 			for i, v := range t.preact[li] {
 				if v > 0 {
 					masked[i] = g[i]
@@ -128,7 +172,7 @@ func (m *MLP) Backward(t *MLPTape, gy []float64) []float64 {
 			}
 			g = masked
 		}
-		g = m.Layers[li].Backward(t.inputs[li], g)
+		g = m.Layers[li].BackwardInto(t.ar.Floats(m.Layers[li].In), t.inputs[li], g)
 	}
 	return g
 }

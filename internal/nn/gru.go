@@ -29,7 +29,9 @@ func NewGRU(name string, in, hidden int, src *rng.Source) *GRU {
 // Params implements Module.
 func (g *GRU) Params() []*Param { return []*Param{g.Wx, g.Wh, g.B} }
 
-// GRUTape records one forward pass for backpropagation through time.
+// GRUTape records one forward pass for backpropagation through time. A
+// caller-owned tape reused across ForwardTape calls recycles its
+// arena-backed buffers.
 type GRUTape struct {
 	xs      [][]float64
 	z, r, n [][]float64
@@ -37,6 +39,9 @@ type GRUTape struct {
 	hPrev   []float64
 	// uhn caches Uh_n * h_prev (needed exactly in backward).
 	uhn [][]float64
+
+	ar   Arena
+	mark Mark
 }
 
 // T returns the sequence length.
@@ -45,64 +50,61 @@ func (t *GRUTape) T() int { return len(t.xs) }
 // Forward runs the GRU over seq from zero state, returning hidden states
 // and the tape.
 func (g *GRU) Forward(seq [][]float64) ([][]float64, *GRUTape) {
+	t := &GRUTape{}
+	return g.ForwardTape(t, seq), t
+}
+
+// ForwardTape is Forward recording into a reusable caller-owned tape. The
+// returned hidden-state sequence is a view into the tape, valid until its
+// next use. The z/r gate preactivations use the batched kernels; the n
+// candidate keeps Uh_n·hPrev as a separate dot (needed exactly in
+// backward), so its accumulation chain is unchanged too.
+func (g *GRU) ForwardTape(t *GRUTape, seq [][]float64) [][]float64 {
 	H := g.Hidden
-	tape := &GRUTape{hPrev: make([]float64, H)}
-	hPrev := tape.hPrev
-	hs := make([][]float64, len(seq))
-	for t, x := range seq {
-		zv := make([]float64, H)
-		rv := make([]float64, H)
-		nv := make([]float64, H)
-		hv := make([]float64, H)
-		uh := make([]float64, H)
+	T := len(seq)
+	t.ar.Reset()
+	t.hPrev = t.ar.Floats(H)
+	t.xs = t.ar.Rows(T)
+	t.z = t.ar.Matrix(T, H)
+	t.r = t.ar.Matrix(T, H)
+	t.n = t.ar.Matrix(T, H)
+	t.h = t.ar.Matrix(T, H)
+	t.uhn = t.ar.Matrix(T, H)
+	a := t.ar.Floats(3 * H) // gate preactivations, overwritten per step
+	hPrev := t.hPrev
+	for ti, x := range seq {
+		// a[gate*H+h] = b + Wx·x for all three gates, then += Wh·hPrev for
+		// z and r only; each per-element dot runs in ascending order.
+		MatMulNT(a, x, 1, g.Wx.W, 3*H, g.In, g.B.W)
+		MatMulAccNT(a[:2*H], hPrev, 1, g.Wh.W[:2*H*H], 2*H, H)
+		uh := t.uhn[ti]
+		MatMulNT(uh, hPrev, 1, g.Wh.W[2*H*H:], H, H, nil)
+		zv, rv, nv, hv := t.z[ti], t.r[ti], t.n[ti], t.h[ti]
 		for h := 0; h < H; h++ {
-			az := g.B.W[h]
-			ar := g.B.W[H+h]
-			an := g.B.W[2*H+h]
-			rowZ := g.Wx.W[h*g.In : (h+1)*g.In]
-			rowR := g.Wx.W[(H+h)*g.In : (H+h+1)*g.In]
-			rowN := g.Wx.W[(2*H+h)*g.In : (2*H+h+1)*g.In]
-			for k, xv := range x {
-				az += rowZ[k] * xv
-				ar += rowR[k] * xv
-				an += rowN[k] * xv
-			}
-			hrowZ := g.Wh.W[h*H : (h+1)*H]
-			hrowR := g.Wh.W[(H+h)*H : (H+h+1)*H]
-			hrowN := g.Wh.W[(2*H+h)*H : (2*H+h+1)*H]
-			var uhSum float64
-			for k, hp := range hPrev {
-				az += hrowZ[k] * hp
-				ar += hrowR[k] * hp
-				uhSum += hrowN[k] * hp
-			}
-			zv[h] = Sigmoid(az)
-			rv[h] = Sigmoid(ar)
-			uh[h] = uhSum
-			nv[h] = Tanh(an + rv[h]*uhSum)
+			zv[h] = Sigmoid(a[h])
+			rv[h] = Sigmoid(a[H+h])
+			nv[h] = Tanh(a[2*H+h] + rv[h]*uh[h])
 			hv[h] = (1-zv[h])*nv[h] + zv[h]*hPrev[h]
 		}
-		tape.xs = append(tape.xs, x)
-		tape.z = append(tape.z, zv)
-		tape.r = append(tape.r, rv)
-		tape.n = append(tape.n, nv)
-		tape.h = append(tape.h, hv)
-		tape.uhn = append(tape.uhn, uh)
-		hs[t] = hv
+		t.xs[ti] = x
 		hPrev = hv
 	}
-	return hs, tape
+	t.mark = t.ar.Mark()
+	return t.h
 }
 
 // Backward runs BPTT over the tape. gh holds dL/dh per step (nil = zero).
-// It accumulates parameter gradients and returns input gradients.
+// It accumulates parameter gradients and returns input gradients (views
+// into the tape's scratch, valid until its next use).
 func (g *GRU) Backward(tape *GRUTape, gh [][]float64) [][]float64 {
 	H, In := g.Hidden, g.In
 	T := tape.T()
-	gxs := make([][]float64, T)
-	dhNext := make([]float64, H)
+	ar := &tape.ar
+	ar.Rewind(tape.mark)
+	gxs := ar.Rows(T)
+	dhNext := ar.Floats(H)
 	for t := T - 1; t >= 0; t-- {
-		dh := make([]float64, H)
+		dh := ar.Floats(H)
 		copy(dh, dhNext)
 		if t < len(gh) && gh[t] != nil {
 			for h := 0; h < H; h++ {
@@ -117,10 +119,10 @@ func (g *GRU) Backward(tape *GRUTape, gh [][]float64) [][]float64 {
 		} else {
 			hPrev = tape.h[t-1]
 		}
-		daz := make([]float64, H)
-		dar := make([]float64, H)
-		dan := make([]float64, H)
-		dhPrev := make([]float64, H)
+		daz := ar.Floats(H)
+		dar := ar.Floats(H)
+		dan := ar.Floats(H)
+		dhPrev := ar.Floats(H)
 		for h := 0; h < H; h++ {
 			dz := dh[h] * (hPrev[h] - nv[h])
 			dn := dh[h] * (1 - zv[h])
@@ -130,7 +132,7 @@ func (g *GRU) Backward(tape *GRUTape, gh [][]float64) [][]float64 {
 			daz[h] = dz * zv[h] * (1 - zv[h])
 			dar[h] = dr * rv[h] * (1 - rv[h])
 		}
-		gx := make([]float64, In)
+		gx := ar.Floats(In)
 		x := tape.xs[t]
 		for h := 0; h < H; h++ {
 			// z gate.

@@ -31,20 +31,25 @@ func NewLSTM(name string, in, hidden int, src *rng.Source) *LSTM {
 // Params implements Module.
 func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
 
-// LSTMTape records one sequence forward pass for BPTT.
+// LSTMTape records one sequence forward pass for BPTT. A caller-owned tape
+// reused across ForwardTape calls recycles its arena-backed buffers, so
+// steady-state passes allocate nothing.
 type LSTMTape struct {
 	xs           [][]float64 // inputs per step
 	i, f, g, o   [][]float64 // gate activations per step
 	c, h         [][]float64 // cell and hidden states per step
 	tanhC        [][]float64 // tanh(c) per step
 	cPrev, hPrev []float64   // initial states
+
+	ar   Arena
+	mark Mark // arena state after Forward; Backward rewinds here
 }
 
 // T returns the sequence length of the tape.
 func (t *LSTMTape) T() int { return len(t.xs) }
 
 // Forward runs the LSTM over seq (T steps of In features), starting from
-// zero states, and returns the hidden-state sequence plus the tape.
+// zero states, and returns the hidden-state sequence plus a fresh tape.
 func (l *LSTM) Forward(seq [][]float64) ([][]float64, *LSTMTape) {
 	return l.ForwardFrom(seq, nil, nil)
 }
@@ -52,76 +57,64 @@ func (l *LSTM) Forward(seq [][]float64) ([][]float64, *LSTMTape) {
 // ForwardFrom runs the LSTM from the given initial hidden and cell states
 // (nil means zeros), enabling encoder-decoder chaining.
 func (l *LSTM) ForwardFrom(seq [][]float64, h0, c0 []float64) ([][]float64, *LSTMTape) {
+	t := &LSTMTape{}
+	return l.ForwardTape(t, seq, h0, c0), t
+}
+
+// ForwardTape is ForwardFrom recording into a reusable caller-owned tape.
+// The returned hidden-state sequence is a view into the tape, valid until
+// its next use. The gate preactivations are computed with the batched
+// kernels, whose per-element accumulation order matches the scalar loop
+// bit for bit.
+func (l *LSTM) ForwardTape(t *LSTMTape, seq [][]float64, h0, c0 []float64) [][]float64 {
 	H := l.Hidden
+	T := len(seq)
+	t.ar.Reset()
 	if h0 == nil {
-		h0 = make([]float64, H)
+		h0 = t.ar.Floats(H)
 	}
 	if c0 == nil {
-		c0 = make([]float64, H)
+		c0 = t.ar.Floats(H)
 	}
-	tape := &LSTMTape{cPrev: c0, hPrev: h0}
-	hPrev := tape.hPrev
-	cPrev := tape.cPrev
-	hs := make([][]float64, len(seq))
-	for t, x := range seq {
-		iv := make([]float64, H)
-		fv := make([]float64, H)
-		gv := make([]float64, H)
-		ov := make([]float64, H)
-		cv := make([]float64, H)
-		hv := make([]float64, H)
-		tc := make([]float64, H)
+	t.hPrev, t.cPrev = h0, c0
+	t.xs = t.ar.Rows(T)
+	t.i = t.ar.Matrix(T, H)
+	t.f = t.ar.Matrix(T, H)
+	t.g = t.ar.Matrix(T, H)
+	t.o = t.ar.Matrix(T, H)
+	t.c = t.ar.Matrix(T, H)
+	t.h = t.ar.Matrix(T, H)
+	t.tanhC = t.ar.Matrix(T, H)
+	z := t.ar.Floats(4 * H) // gate preactivations, overwritten per step
+	hPrev, cPrev := h0, c0
+	for ti, x := range seq {
+		// z[gate*H+h] = b + Wx·x + Wh·hPrev, each dot in ascending order.
+		MatMulNT(z, x, 1, l.Wx.W, 4*H, l.In, l.B.W)
+		MatMulAccNT(z, hPrev, 1, l.Wh.W, 4*H, H)
+		iv, fv, gv, ov := t.i[ti], t.f[ti], t.g[ti], t.o[ti]
+		cv, hv, tc := t.c[ti], t.h[ti], t.tanhC[ti]
 		for h := 0; h < H; h++ {
-			zi := l.B.W[h]
-			zf := l.B.W[H+h]
-			zg := l.B.W[2*H+h]
-			zo := l.B.W[3*H+h]
-			rowI := l.Wx.W[h*l.In : (h+1)*l.In]
-			rowF := l.Wx.W[(H+h)*l.In : (H+h+1)*l.In]
-			rowG := l.Wx.W[(2*H+h)*l.In : (2*H+h+1)*l.In]
-			rowO := l.Wx.W[(3*H+h)*l.In : (3*H+h+1)*l.In]
-			for k, xv := range x {
-				zi += rowI[k] * xv
-				zf += rowF[k] * xv
-				zg += rowG[k] * xv
-				zo += rowO[k] * xv
-			}
-			hrowI := l.Wh.W[h*H : (h+1)*H]
-			hrowF := l.Wh.W[(H+h)*H : (H+h+1)*H]
-			hrowG := l.Wh.W[(2*H+h)*H : (2*H+h+1)*H]
-			hrowO := l.Wh.W[(3*H+h)*H : (3*H+h+1)*H]
-			for k, hpv := range hPrev {
-				zi += hrowI[k] * hpv
-				zf += hrowF[k] * hpv
-				zg += hrowG[k] * hpv
-				zo += hrowO[k] * hpv
-			}
-			iv[h] = Sigmoid(zi)
-			fv[h] = Sigmoid(zf)
-			gv[h] = Tanh(zg)
-			ov[h] = Sigmoid(zo)
+			iv[h] = Sigmoid(z[h])
+			fv[h] = Sigmoid(z[H+h])
+			gv[h] = Tanh(z[2*H+h])
+			ov[h] = Sigmoid(z[3*H+h])
 			cv[h] = fv[h]*cPrev[h] + iv[h]*gv[h]
 			tc[h] = Tanh(cv[h])
 			hv[h] = ov[h] * tc[h]
 		}
-		tape.xs = append(tape.xs, x)
-		tape.i = append(tape.i, iv)
-		tape.f = append(tape.f, fv)
-		tape.g = append(tape.g, gv)
-		tape.o = append(tape.o, ov)
-		tape.c = append(tape.c, cv)
-		tape.tanhC = append(tape.tanhC, tc)
-		tape.h = append(tape.h, hv)
-		hs[t] = hv
+		t.xs[ti] = x
 		hPrev, cPrev = hv, cv
 	}
-	return hs, tape
+	t.mark = t.ar.Mark()
+	return t.h
 }
 
 // Backward runs BPTT. gh is the gradient of the loss with respect to each
 // hidden state (len T; entries may be nil meaning zero). It accumulates
 // parameter gradients and returns gradients with respect to the inputs
 // plus the gradients with respect to the initial hidden and cell states.
+// Returned slices are views into the tape's scratch, valid until its next
+// use.
 func (l *LSTM) Backward(tape *LSTMTape, gh [][]float64) (gxs [][]float64, dh0, dc0 []float64) {
 	return l.BackwardWithCellGrad(tape, gh, nil)
 }
@@ -132,14 +125,23 @@ func (l *LSTM) Backward(tape *LSTMTape, gh [][]float64) (gxs [][]float64, dh0, d
 func (l *LSTM) BackwardWithCellGrad(tape *LSTMTape, gh [][]float64, dcT []float64) (gxs [][]float64, dh0, dc0 []float64) {
 	H, In := l.Hidden, l.In
 	T := tape.T()
-	gxs = make([][]float64, T)
-	dhNext := make([]float64, H)
-	dcNext := make([]float64, H)
+	ar := &tape.ar
+	ar.Rewind(tape.mark)
+	gxs = ar.Rows(T)
+	dhNext := ar.Floats(H)
+	dcNext := ar.Floats(H)
 	if dcT != nil {
 		copy(dcNext, dcT)
 	}
+	// Per-step scratch, fully rewritten every iteration.
+	dh := ar.Floats(H)
+	dhPrev := ar.Floats(H)
+	dzi := ar.Floats(H)
+	dzf := ar.Floats(H)
+	dzg := ar.Floats(H)
+	dzo := ar.Floats(H)
+	dc := ar.Floats(H)
 	for t := T - 1; t >= 0; t-- {
-		dh := make([]float64, H)
 		copy(dh, dhNext)
 		if t < len(gh) && gh[t] != nil {
 			for h := 0; h < H; h++ {
@@ -154,11 +156,6 @@ func (l *LSTM) BackwardWithCellGrad(tape *LSTMTape, gh [][]float64, dcT []float6
 		} else {
 			cPrev, hPrev = tape.c[t-1], tape.h[t-1]
 		}
-		dzi := make([]float64, H)
-		dzf := make([]float64, H)
-		dzg := make([]float64, H)
-		dzo := make([]float64, H)
-		dc := make([]float64, H)
 		for h := 0; h < H; h++ {
 			do := dh[h] * tc[h]
 			dc[h] = dcNext[h] + dh[h]*ov[h]*(1-tc[h]*tc[h])
@@ -171,8 +168,8 @@ func (l *LSTM) BackwardWithCellGrad(tape *LSTMTape, gh [][]float64, dcT []float6
 			dzo[h] = do * ov[h] * (1 - ov[h])
 		}
 		// Parameter grads and input/hidden grads.
-		gx := make([]float64, In)
-		dhPrev := make([]float64, H)
+		gx := ar.Floats(In)
+		clear(dhPrev)
 		x := tape.xs[t]
 		for h := 0; h < H; h++ {
 			for gate, dz := range [4][]float64{dzi, dzf, dzg, dzo} {
@@ -197,7 +194,7 @@ func (l *LSTM) BackwardWithCellGrad(tape *LSTMTape, gh [][]float64, dcT []float6
 			}
 		}
 		gxs[t] = gx
-		dhNext = dhPrev
+		copy(dhNext, dhPrev)
 		for h := 0; h < H; h++ {
 			dcNext[h] = dc[h] * fv[h]
 		}

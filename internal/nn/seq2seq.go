@@ -32,12 +32,20 @@ func (s *Seq2Seq) Params() []*Param {
 	return ps
 }
 
-// Seq2SeqTape records one forward pass.
+// Seq2SeqTape records one forward pass. A caller-owned tape reused across
+// ForwardTape calls recycles the encoder/decoder tapes and scratch arena.
 type Seq2SeqTape struct {
-	encTape *LSTMTape
-	decTape *LSTMTape
-	decHs   [][]float64
-	preds   []float64
+	encTape LSTMTape
+	decTape LSTMTape
+	// decAlt is the second decoder tape for the autoregressive path: each
+	// step's initial state is a view into the previous step's tape, so two
+	// tapes alternate — resetting one never clobbers the state it reads.
+	decAlt LSTMTape
+	decHs  [][]float64
+	preds  []float64
+
+	ar   Arena
+	mark Mark
 }
 
 // Forward encodes hist ([T][in]) and decodes Horizon predictions. teacher,
@@ -45,65 +53,83 @@ type Seq2SeqTape struct {
 // (teacher[k] is the true value at horizon step k); the decoder's first
 // input is the last history value histLast.
 func (s *Seq2Seq) Forward(hist [][]float64, histLast float64, teacher []float64) ([]float64, *Seq2SeqTape) {
-	_, encTape := s.Enc.Forward(hist)
-	h0, c0 := encTape.LastHidden()
-	tape := &Seq2SeqTape{encTape: encTape}
+	t := &Seq2SeqTape{}
+	return s.ForwardTape(t, hist, histLast, teacher), t
+}
+
+// ForwardTape is Forward recording into a reusable caller-owned tape. The
+// returned predictions are a view into the tape, valid until its next use.
+func (s *Seq2Seq) ForwardTape(t *Seq2SeqTape, hist [][]float64, histLast float64, teacher []float64) []float64 {
+	t.ar.Reset()
+	s.Enc.ForwardTape(&t.encTape, hist, nil, nil)
+	h0, c0 := t.encTape.LastHidden()
+	yh := t.ar.Floats(1) // head output scratch
 	if teacher != nil {
 		// Teacher forcing: all decoder inputs known up front.
-		ins := make([][]float64, s.Horizon)
-		ins[0] = []float64{histLast}
+		ins := t.ar.Rows(s.Horizon)
+		inVals := t.ar.Floats(s.Horizon)
+		inVals[0] = histLast
 		for k := 1; k < s.Horizon; k++ {
-			ins[k] = []float64{teacher[k-1]}
+			inVals[k] = teacher[k-1]
 		}
-		hs, decTape := s.Dec.ForwardFrom(ins, h0, c0)
-		tape.decTape = decTape
-		tape.decHs = hs
-		preds := make([]float64, s.Horizon)
+		for k := range ins {
+			ins[k] = inVals[k : k+1 : k+1]
+		}
+		hs := s.Dec.ForwardTape(&t.decTape, ins, h0, c0)
+		t.decHs = hs
+		preds := t.ar.Floats(s.Horizon)
 		for k, h := range hs {
-			preds[k] = s.Head.Forward(h)[0]
+			preds[k] = s.Head.ForwardInto(yh, h)[0]
 		}
-		tape.preds = preds
-		return preds, tape
+		t.preds = preds
+		t.mark = t.ar.Mark()
+		return preds
 	}
 	// Autoregressive inference: feed own predictions. Gradients are not
-	// supported on this path (tape.decTape covers the whole unrolled run
-	// but feedback gradients are ignored; train with teacher forcing).
-	preds := make([]float64, s.Horizon)
-	prev := histLast
+	// supported on this path (the decoder tapes only cover the final two
+	// unrolled steps; train with teacher forcing).
+	preds := t.ar.Floats(s.Horizon)
+	hsAll := t.ar.Matrix(s.Horizon, s.Dec.Hidden)
+	prev := t.ar.Floats(1)
+	prev[0] = histLast
+	ins := t.ar.Rows(1)
 	h, c := h0, c0
-	var lastTape *LSTMTape
-	var hsAll [][]float64
+	cur, alt := &t.decTape, &t.decAlt
 	for k := 0; k < s.Horizon; k++ {
-		hs, dt := s.Dec.ForwardFrom([][]float64{{prev}}, h, c)
-		lastTape = dt
-		h, c = dt.LastHidden()
-		preds[k] = s.Head.Forward(hs[0])[0]
-		prev = preds[k]
-		hsAll = append(hsAll, hs[0])
+		ins[0] = prev
+		hs := s.Dec.ForwardTape(cur, ins, h, c)
+		h, c = cur.LastHidden()
+		preds[k] = s.Head.ForwardInto(yh, hs[0])[0]
+		copy(hsAll[k], hs[0])
+		prev[0] = preds[k]
+		cur, alt = alt, cur
 	}
-	tape.decTape = lastTape
-	tape.decHs = hsAll
-	tape.preds = preds
-	return preds, tape
+	t.decHs = hsAll
+	t.preds = preds
+	t.mark = t.ar.Mark()
+	return preds
 }
 
 // Backward accumulates gradients for a teacher-forced forward pass given
 // dL/dpred.
 func (s *Seq2Seq) Backward(tape *Seq2SeqTape, gPred []float64) {
-	gh := make([][]float64, len(tape.decHs))
+	ar := &tape.ar
+	ar.Rewind(tape.mark)
+	gh := ar.Rows(len(tape.decHs))
+	gy := ar.Floats(1)
 	for k, h := range tape.decHs {
 		if gPred[k] == 0 {
 			continue
 		}
-		g := s.Head.Backward(h, []float64{gPred[k]})
-		gh[k] = g
+		gy[0] = gPred[k]
+		gh[k] = s.Head.BackwardInto(ar.Floats(s.Head.In), h, gy)
 	}
-	_, dh0, dc0 := s.Dec.Backward(tape.decTape, gh)
+	_, dh0, dc0 := s.Dec.Backward(&tape.decTape, gh)
 	// Push the state gradients into the encoder's last step.
-	encGh := make([][]float64, tape.encTape.T())
+	encGh := ar.Rows(tape.encTape.T())
 	if tape.encTape.T() > 0 {
 		encGh[tape.encTape.T()-1] = dh0
 	}
 	// dc0 flows into the encoder's terminal cell state.
-	s.Enc.BackwardWithCellGrad(tape.encTape, encGh, dc0)
+	s.Enc.BackwardWithCellGrad(&tape.encTape, encGh, dc0)
 }

@@ -55,77 +55,108 @@ func (t *TCN) Params() []*Param {
 	return ps
 }
 
-// TCNTape stores per-block inputs and pre-activations.
+// TCNTape stores per-block inputs and pre-activations. A caller-owned tape
+// reused across ForwardTape calls recycles its arena-backed buffers.
 type TCNTape struct {
 	inputs  [][][]float64 // per block: [T][in]
 	preacts [][][]float64 // per block: [T][out] conv output before ReLU
+
+	ar   Arena
+	mark Mark
 }
 
 // Forward runs the TCN over seq [T][In] returning [T][Channels].
 func (t *TCN) Forward(seq [][]float64) ([][]float64, *TCNTape) {
 	tape := &TCNTape{}
+	return t.ForwardTape(tape, seq), tape
+}
+
+// ForwardTape is Forward recording into a reusable caller-owned tape. The
+// returned sequence is a view into the tape, valid until its next use.
+func (t *TCN) ForwardTape(tape *TCNTape, seq [][]float64) [][]float64 {
+	tape.ar.Reset()
+	tape.inputs = tape.inputs[:0]
+	tape.preacts = tape.preacts[:0]
 	cur := seq
 	for _, blk := range t.Blocks {
 		tape.inputs = append(tape.inputs, cur)
-		pre := blk.conv(cur)
+		pre := blk.conv(cur, &tape.ar)
 		tape.preacts = append(tape.preacts, pre)
-		next := make([][]float64, len(cur))
+		next := tape.ar.Matrix(len(cur), blk.out)
+		var res []float64
+		if blk.proj != nil {
+			res = tape.ar.Floats(blk.out)
+		}
 		for ti := range cur {
-			out := make([]float64, blk.out)
-			var res []float64
+			out := next[ti]
 			if blk.proj != nil {
-				res = blk.proj.Forward(cur[ti])
+				blk.proj.ForwardInto(res, cur[ti])
 			} else {
 				res = cur[ti]
 			}
 			for o := 0; o < blk.out; o++ {
 				out[o] = ReLU(pre[ti][o]) + res[o]
 			}
-			next[ti] = out
 		}
 		cur = next
 	}
-	return cur, tape
+	tape.mark = tape.ar.Mark()
+	return cur
 }
 
-// conv computes the causal dilated convolution outputs (pre-activation).
-func (b *tcnBlock) conv(seq [][]float64) [][]float64 {
+// conv computes the causal dilated convolution outputs (pre-activation) as
+// one GEMM per kernel tap: tap k's weights are repacked into a contiguous
+// out x in matrix and multiplied against the time-shifted input rows.
+// Each output element's accumulation chain — bias, then taps in ascending
+// k with each tap's features in ascending order, causal-skipping taps that
+// reach before the sequence — is bit-identical to the scalar triple loop.
+func (b *tcnBlock) conv(seq [][]float64, ar *Arena) [][]float64 {
 	T := len(seq)
-	out := make([][]float64, T)
-	for ti := 0; ti < T; ti++ {
-		y := make([]float64, b.out)
-		for o := 0; o < b.out; o++ {
-			s := b.B.W[o]
-			for k := 0; k < b.kernel; k++ {
-				srcT := ti - (b.kernel-1-k)*b.dilation
-				if srcT < 0 {
-					continue // causal zero padding
-				}
-				w := b.W.W[(o*b.kernel+k)*b.in : (o*b.kernel+k+1)*b.in]
-				for i, xv := range seq[srcT] {
-					s += w[i] * xv
-				}
-			}
-			y[o] = s
-		}
-		out[ti] = y
+	out := ar.Rows(T)
+	outFlat := ar.Floats(T * b.out)
+	for ti := range out {
+		out[ti] = outFlat[ti*b.out : (ti+1)*b.out : (ti+1)*b.out]
+		copy(out[ti], b.B.W)
 	}
+	// Gather the input rows into one flat T x in block for the GEMMs.
+	m := ar.Mark()
+	xFlat := ar.Floats(T * b.in)
+	for ti, row := range seq {
+		copy(xFlat[ti*b.in:(ti+1)*b.in], row)
+	}
+	wk := ar.Floats(b.out * b.in) // tap-k weights, repacked contiguously
+	for k := 0; k < b.kernel; k++ {
+		off := (b.kernel - 1 - k) * b.dilation
+		if off >= T {
+			continue // this tap never reaches a valid source step
+		}
+		for o := 0; o < b.out; o++ {
+			copy(wk[o*b.in:(o+1)*b.in], b.W.W[(o*b.kernel+k)*b.in:(o*b.kernel+k+1)*b.in])
+		}
+		// Output steps ti >= off read source step ti-off.
+		MatMulAccNT(outFlat[off*b.out:], xFlat[:(T-off)*b.in], T-off, wk, b.out, b.in)
+	}
+	ar.Rewind(m)
 	return out
 }
 
 // Backward propagates gradients gy ([T][Channels], nil entries = zero)
 // through the network, accumulating parameter grads, and returns the
-// gradient with respect to the input sequence.
+// gradient with respect to the input sequence (views into the tape's
+// scratch, valid until its next use).
 func (t *TCN) Backward(tape *TCNTape, gy [][]float64) [][]float64 {
+	ar := &tape.ar
+	ar.Rewind(tape.mark)
 	g := gy
 	for bi := len(t.Blocks) - 1; bi >= 0; bi-- {
 		blk := t.Blocks[bi]
 		in := tape.inputs[bi]
 		pre := tape.preacts[bi]
 		T := len(in)
-		gIn := make([][]float64, T)
-		for ti := range gIn {
-			gIn[ti] = make([]float64, blk.in)
+		gIn := ar.Matrix(T, blk.in)
+		var gres []float64
+		if blk.proj != nil {
+			gres = ar.Floats(blk.in)
 		}
 		for ti := 0; ti < T; ti++ {
 			if ti >= len(g) || g[ti] == nil {
@@ -133,7 +164,7 @@ func (t *TCN) Backward(tape *TCNTape, gy [][]float64) [][]float64 {
 			}
 			// Residual path.
 			if blk.proj != nil {
-				gres := blk.proj.Backward(in[ti], g[ti])
+				blk.proj.BackwardInto(gres, in[ti], g[ti])
 				for i := range gres {
 					gIn[ti][i] += gres[i]
 				}

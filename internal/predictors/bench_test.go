@@ -20,6 +20,7 @@ func BenchmarkTrainLoop(b *testing.B) {
 	opts := TrainOpts{Epochs: 5, Batch: 64, LR: 0.01, Patience: 5, Seed: 1}
 	b.ReportAllocs()
 	b.ResetTimer()
+	totalWindows := 0
 	for i := 0; i < b.N; i++ {
 		// A fresh model each iteration: TrainLoop mutates the weights.
 		p := NewLSTMPredictor(8, 5, opts)
@@ -27,5 +28,8 @@ func BenchmarkTrainLoop(b *testing.B) {
 		if rep.Epochs == 0 {
 			b.Fatal("training ran no epochs")
 		}
+		totalWindows += rep.Epochs * len(train)
 	}
+	// Training windows consumed per second — a tracked headline number.
+	b.ReportMetric(float64(totalWindows)/b.Elapsed().Seconds(), "windows/s")
 }

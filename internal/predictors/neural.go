@@ -1,10 +1,20 @@
 package predictors
 
 import (
+	"sync"
+
 	"prism5g/internal/nn"
 	"prism5g/internal/rng"
 	"prism5g/internal/trace"
 )
+
+// The neural baselines keep their forward/backward intermediates in pooled
+// scratch (tapes + a bump arena) so the hot paths stop allocating per
+// sample. A sync.Pool is required rather than a plain struct field because
+// Predict must stay safe under concurrent callers (the serving path fans
+// requests across goroutines); Train is single-goroutine by contract.
+// Returned predictions are always freshly allocated — callers (Resilient,
+// the serving layer) may hold or mutate them after the scratch is reused.
 
 // LSTMPredictor is the LSTM baseline [28]: one recurrent pass over the
 // aggregate feature sequence, with a linear head emitting the full horizon.
@@ -15,6 +25,21 @@ type LSTMPredictor struct {
 
 	lstm *nn.LSTM
 	head *nn.Dense
+
+	pool sync.Pool // *lstmScratch, per-sample path
+	bs   lstmBatchScratch
+}
+
+type lstmScratch struct {
+	tape nn.LSTMTape
+	ar   nn.Arena
+}
+
+// lstmBatchScratch backs ForwardBackwardBatch; train-time only, so it
+// lives on the model without pooling.
+type lstmBatchScratch struct {
+	btape nn.LSTMBatchTape
+	ar    nn.Arena
 }
 
 // NewLSTMPredictor builds the baseline (paper: two-layer 128 hidden; we use
@@ -22,11 +47,13 @@ type LSTMPredictor struct {
 // these trace sizes).
 func NewLSTMPredictor(hidden, horizon int, opts TrainOpts) *LSTMPredictor {
 	src := rng.New(opts.Seed ^ 0x15717)
-	return &LSTMPredictor{
+	p := &LSTMPredictor{
 		Hidden: hidden, Horizon: horizon, Opts: opts,
 		lstm: nn.NewLSTM("lstm", AggFeatureDim, hidden, src),
 		head: nn.NewDense("lstm.head", hidden, horizon, src),
 	}
+	p.pool.New = func() any { return &lstmScratch{} }
+	return p
 }
 
 // Name implements Predictor.
@@ -39,20 +66,78 @@ func (p *LSTMPredictor) Params() []*nn.Param {
 
 // ForwardBackward implements SeqModel.
 func (p *LSTMPredictor) ForwardBackward(w trace.Window, gScale float64) []float64 {
-	seq := AggFeatures(w)
-	hs, tape := p.lstm.Forward(seq)
+	s := p.pool.Get().(*lstmScratch)
+	s.ar.Reset()
+	seq := aggFeaturesInto(&s.ar, w)
+	hs := p.lstm.ForwardTape(&s.tape, seq, nil, nil)
 	last := hs[len(hs)-1]
 	y := p.head.Forward(last)
 	if gScale > 0 {
-		g := nn.MSEGrad(y, w.Y)
+		g := nn.MSEGradInto(s.ar.Floats(len(y)), y, w.Y)
 		for i := range g {
 			g[i] *= gScale
 		}
-		gh := make([][]float64, len(hs))
-		gh[len(hs)-1] = p.head.Backward(last, g)
-		p.lstm.Backward(tape, gh)
+		gh := s.ar.Rows(len(hs))
+		gh[len(hs)-1] = p.head.BackwardInto(s.ar.Floats(p.head.In), last, g)
+		p.lstm.Backward(&s.tape, gh)
 	}
+	p.pool.Put(s)
 	return y
+}
+
+// ForwardBackwardBatch implements BatchSeqModel: the whole minibatch runs
+// through the batched LSTM/head kernels. Per sample every float64
+// accumulation chain — forward values, loss gradients and the ascending
+// sample order of parameter-gradient contributions — matches per-sample
+// ForwardBackward calls exactly, so training results are bit-identical.
+// The returned predictions are views into model scratch, valid until the
+// next batch call; not safe for concurrent use (train-time only).
+func (p *LSTMPredictor) ForwardBackwardBatch(ws []trace.Window, gScale float64) [][]float64 {
+	if len(ws) == 0 {
+		return nil
+	}
+	T := len(ws[0].AggHist)
+	for _, w := range ws[1:] {
+		if len(w.AggHist) != T {
+			// Ragged histories: fall back to the per-sample path.
+			ys := make([][]float64, len(ws))
+			for i, w := range ws {
+				ys[i] = p.ForwardBackward(w, gScale)
+			}
+			return ys
+		}
+	}
+	b := len(ws)
+	s := &p.bs
+	s.ar.Reset()
+	// Gather features step-major: step t, sample si at X[(t*b+si)*dim].
+	X := s.ar.Floats(T * b * AggFeatureDim)
+	for si, w := range ws {
+		for t := 0; t < T; t++ {
+			fillAggFeatures(X[(t*b+si)*AggFeatureDim:(t*b+si+1)*AggFeatureDim], w, t)
+		}
+	}
+	lastH := p.lstm.ForwardBatch(&s.btape, X, b, T)
+	out := p.head.Out
+	Y := s.ar.Floats(b * out)
+	p.head.ForwardBatch(Y, lastH, b)
+	ys := s.ar.Rows(b)
+	for si := range ys {
+		ys[si] = Y[si*out : (si+1)*out]
+	}
+	if gScale > 0 {
+		G := s.ar.Floats(b * out)
+		for si, w := range ws {
+			g := nn.MSEGradInto(G[si*out:(si+1)*out], ys[si], w.Y)
+			for i := range g {
+				g[i] *= gScale
+			}
+		}
+		GH := s.ar.Floats(b * p.head.In)
+		p.head.BackwardBatch(GH, lastH, G, b)
+		p.lstm.BackwardBatch(&s.btape, GH)
+	}
+	return ys
 }
 
 // Train implements Predictor.
@@ -73,16 +158,25 @@ type TCNPredictor struct {
 
 	tcn  *nn.TCN
 	head *nn.Dense
+
+	pool sync.Pool // *tcnScratch
+}
+
+type tcnScratch struct {
+	tape nn.TCNTape
+	ar   nn.Arena
 }
 
 // NewTCNPredictor builds the TCN baseline.
 func NewTCNPredictor(channels, horizon int, opts TrainOpts) *TCNPredictor {
 	src := rng.New(opts.Seed ^ 0x7c17)
-	return &TCNPredictor{
+	p := &TCNPredictor{
 		Channels: channels, Kernel: 2, Blocks: 3, Horizon: horizon, Opts: opts,
 		tcn:  nn.NewTCN("tcn", AggFeatureDim, channels, 2, 3, src),
 		head: nn.NewDense("tcn.head", channels, horizon, src),
 	}
+	p.pool.New = func() any { return &tcnScratch{} }
+	return p
 }
 
 // Name implements Predictor.
@@ -95,19 +189,22 @@ func (p *TCNPredictor) Params() []*nn.Param {
 
 // ForwardBackward implements SeqModel.
 func (p *TCNPredictor) ForwardBackward(w trace.Window, gScale float64) []float64 {
-	seq := AggFeatures(w)
-	out, tape := p.tcn.Forward(seq)
+	s := p.pool.Get().(*tcnScratch)
+	s.ar.Reset()
+	seq := aggFeaturesInto(&s.ar, w)
+	out := p.tcn.ForwardTape(&s.tape, seq)
 	last := out[len(out)-1]
 	y := p.head.Forward(last)
 	if gScale > 0 {
-		g := nn.MSEGrad(y, w.Y)
+		g := nn.MSEGradInto(s.ar.Floats(len(y)), y, w.Y)
 		for i := range g {
 			g[i] *= gScale
 		}
-		gy := make([][]float64, len(out))
-		gy[len(out)-1] = p.head.Backward(last, g)
-		p.tcn.Backward(tape, gy)
+		gy := s.ar.Rows(len(out))
+		gy[len(out)-1] = p.head.BackwardInto(s.ar.Floats(p.head.In), last, g)
+		p.tcn.Backward(&s.tape, gy)
 	}
+	p.pool.Put(s)
 	return y
 }
 
@@ -131,15 +228,24 @@ type Lumos5G struct {
 	Opts    TrainOpts
 
 	s2s *nn.Seq2Seq
+
+	pool sync.Pool // *lumosScratch
+}
+
+type lumosScratch struct {
+	tape nn.Seq2SeqTape
+	ar   nn.Arena
 }
 
 // NewLumos5G builds the Seq2Seq baseline.
 func NewLumos5G(hidden, horizon int, opts TrainOpts) *Lumos5G {
 	src := rng.New(opts.Seed ^ 0x10305)
-	return &Lumos5G{
+	p := &Lumos5G{
 		Hidden: hidden, Horizon: horizon, Opts: opts,
 		s2s: nn.NewSeq2Seq("lumos", AggFeatureDim, hidden, horizon, src),
 	}
+	p.pool.New = func() any { return &lumosScratch{} }
+	return p
 }
 
 // Name implements Predictor.
@@ -150,19 +256,24 @@ func (p *Lumos5G) Params() []*nn.Param { return p.s2s.Params() }
 
 // ForwardBackward implements SeqModel.
 func (p *Lumos5G) ForwardBackward(w trace.Window, gScale float64) []float64 {
-	seq := AggFeatures(w)
+	s := p.pool.Get().(*lumosScratch)
+	s.ar.Reset()
+	seq := aggFeaturesInto(&s.ar, w)
 	histLast := w.AggHist[len(w.AggHist)-1]
+	var y []float64
 	if gScale > 0 {
 		// Teacher forcing during training.
-		y, tape := p.s2s.Forward(seq, histLast, w.Y)
-		g := nn.MSEGrad(y, w.Y)
+		y = p.s2s.ForwardTape(&s.tape, seq, histLast, w.Y)
+		g := nn.MSEGradInto(s.ar.Floats(len(y)), y, w.Y)
 		for i := range g {
 			g[i] *= gScale
 		}
-		p.s2s.Backward(tape, g)
-		return y
+		p.s2s.Backward(&s.tape, g)
+	} else {
+		y = p.s2s.ForwardTape(&s.tape, seq, histLast, nil)
 	}
-	y, _ := p.s2s.Forward(seq, histLast, nil)
+	y = append([]float64(nil), y...)
+	p.pool.Put(s)
 	return y
 }
 

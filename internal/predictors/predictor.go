@@ -143,6 +143,11 @@ func EvaluateSkipping(p Predictor, ws []trace.Window) (rmse float64, skipped int
 			continue
 		}
 		y := p.Predict(w)
+		if preds == nil {
+			// Size once off the first horizon; avoids append regrowth.
+			preds = make([]float64, 0, len(ws)*len(y))
+			truths = make([]float64, 0, len(ws)*len(y))
+		}
 		preds = append(preds, y...)
 		truths = append(truths, w.Y...)
 	}
@@ -161,22 +166,40 @@ const AggFeatureDim = 9
 // from a window.
 func AggFeatures(w trace.Window) [][]float64 {
 	T := len(w.AggHist)
+	flat := make([]float64, T*AggFeatureDim)
 	out := make([][]float64, T)
 	for t := 0; t < T; t++ {
-		pc := w.X[0][t] // PCell slot
-		out[t] = []float64{
-			w.AggHist[t],
-			pc[trace.FRSRP],
-			pc[trace.FRSRQ],
-			pc[trace.FSINR],
-			pc[trace.FCQI],
-			pc[trace.FBLER],
-			pc[trace.FRB],
-			pc[trace.FLayers],
-			pc[trace.FMCS],
-		}
+		out[t] = flat[t*AggFeatureDim : (t+1)*AggFeatureDim]
+		fillAggFeatures(out[t], w, t)
 	}
 	return out
+}
+
+// aggFeaturesInto is AggFeatures drawing the sequence from an arena so hot
+// paths build it without allocating.
+func aggFeaturesInto(ar *nn.Arena, w trace.Window) [][]float64 {
+	T := len(w.AggHist)
+	out := ar.Rows(T)
+	flat := ar.Floats(T * AggFeatureDim)
+	for t := 0; t < T; t++ {
+		out[t] = flat[t*AggFeatureDim : (t+1)*AggFeatureDim]
+		fillAggFeatures(out[t], w, t)
+	}
+	return out
+}
+
+// fillAggFeatures writes step t's AggFeatureDim features into row.
+func fillAggFeatures(row []float64, w trace.Window, t int) {
+	pc := w.X[0][t] // PCell slot
+	row[0] = w.AggHist[t]
+	row[1] = pc[trace.FRSRP]
+	row[2] = pc[trace.FRSRQ]
+	row[3] = pc[trace.FSINR]
+	row[4] = pc[trace.FCQI]
+	row[5] = pc[trace.FBLER]
+	row[6] = pc[trace.FRB]
+	row[7] = pc[trace.FLayers]
+	row[8] = pc[trace.FMCS]
 }
 
 // FlattenAggFeatures returns the [T*AggFeatureDim] vector the tree-based
@@ -226,6 +249,19 @@ type SeqModel interface {
 	ForwardBackward(w trace.Window, gScale float64) []float64
 }
 
+// BatchSeqModel is a SeqModel with a whole-minibatch path. TrainLoop uses
+// it when available: the batch runs through blocked batched-GEMM kernels
+// instead of one GEMV per sample. Implementations must keep results
+// bit-identical to len(ws) successive ForwardBackward calls (same forward
+// values, parameter-gradient contributions accumulated in ascending sample
+// order) so training trajectories do not depend on which path ran. The
+// returned predictions may be views into model scratch, valid until the
+// next call; the method is not safe for concurrent use.
+type BatchSeqModel interface {
+	SeqModel
+	ForwardBackwardBatch(ws []trace.Window, gScale float64) [][]float64
+}
+
 // TrainLoop runs mini-batch Adam training with early stopping on val RMSE,
 // restoring the best-seen weights (the paper reports the model selected on
 // validation performance).
@@ -260,15 +296,33 @@ func TrainLoop(m SeqModel, train, val []trace.Window, opts TrainOpts) TrainRepor
 	epochs := 0
 	retries := 0
 	diverged := false
+	bm, batched := m.(BatchSeqModel)
+	var batchBuf []trace.Window // gathered minibatch, reused across batches
 	evalSet := func(ws []trace.Window) float64 {
 		var se float64
 		n := 0
-		for _, w := range ws {
-			y := m.ForwardBackward(w, 0)
-			for i := range y {
-				d := y[i] - w.Y[i]
-				se += d * d
-				n++
+		if batched && opts.Batch > 0 {
+			for bi := 0; bi < len(ws); bi += opts.Batch {
+				end := bi + opts.Batch
+				if end > len(ws) {
+					end = len(ws)
+				}
+				for k, y := range bm.ForwardBackwardBatch(ws[bi:end], 0) {
+					for i := range y {
+						d := y[i] - ws[bi+k].Y[i]
+						se += d * d
+						n++
+					}
+				}
+			}
+		} else {
+			for _, w := range ws {
+				y := m.ForwardBackward(w, 0)
+				for i := range y {
+					d := y[i] - w.Y[i]
+					se += d * d
+					n++
+				}
 			}
 		}
 		if n == 0 {
@@ -299,12 +353,26 @@ func TrainLoop(m SeqModel, train, val []trace.Window, opts TrainOpts) TrainRepor
 					end = len(order)
 				}
 				scale := 1.0 / float64(end-bi)
-				for _, wi := range order[bi:end] {
-					y := m.ForwardBackward(train[wi], scale)
-					for i := range y {
-						d := y[i] - train[wi].Y[i]
-						trainSE += d * d
-						trainN++
+				if batched {
+					batchBuf = batchBuf[:0]
+					for _, wi := range order[bi:end] {
+						batchBuf = append(batchBuf, train[wi])
+					}
+					for k, y := range bm.ForwardBackwardBatch(batchBuf, scale) {
+						for i := range y {
+							d := y[i] - batchBuf[k].Y[i]
+							trainSE += d * d
+							trainN++
+						}
+					}
+				} else {
+					for _, wi := range order[bi:end] {
+						y := m.ForwardBackward(train[wi], scale)
+						for i := range y {
+							d := y[i] - train[wi].Y[i]
+							trainSE += d * d
+							trainN++
+						}
 					}
 				}
 				if end == len(order) {
@@ -339,7 +407,7 @@ func TrainLoop(m SeqModel, train, val []trace.Window, opts TrainOpts) TrainRepor
 			}
 			if v < bestVal-1e-6 {
 				bestVal = v
-				bestW = snapshot(m.Params())
+				bestW = snapshotInto(bestW, m.Params())
 				badEpochs = 0
 			} else {
 				badEpochs++
@@ -398,11 +466,22 @@ func gradNorm(ps []*nn.Param) float64 {
 }
 
 func snapshot(ps []*nn.Param) [][]float64 {
-	out := make([][]float64, len(ps))
-	for i, p := range ps {
-		out[i] = append([]float64(nil), p.W...)
+	return snapshotInto(nil, ps)
+}
+
+// snapshotInto copies the weights into dst, reusing its buffers when the
+// shapes still match (they always do within one TrainLoop run).
+func snapshotInto(dst [][]float64, ps []*nn.Param) [][]float64 {
+	if len(dst) != len(ps) {
+		dst = make([][]float64, len(ps))
 	}
-	return out
+	for i, p := range ps {
+		if len(dst[i]) != p.Size() {
+			dst[i] = make([]float64, p.Size())
+		}
+		copy(dst[i], p.W)
+	}
+	return dst
 }
 
 func restore(ps []*nn.Param, w [][]float64) {

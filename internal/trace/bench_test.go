@@ -44,4 +44,40 @@ func BenchmarkRepair(b *testing.B) {
 			b.Fatal("repair found nothing to fix in degraded data")
 		}
 	}
+	b.ReportMetric(float64(4*b.N)/b.Elapsed().Seconds(), "traces/s")
+}
+
+// BenchmarkWindows measures the bulk slab-backed window builder — the path
+// every experiment and training run goes through. windows/s is one of the
+// tracked headline throughput numbers (see BENCH_obs.json).
+func BenchmarkWindows(b *testing.B) {
+	d := makeDataset(8, 400)
+	var sc Scaler
+	sc.Fit(d.Traces)
+	opts := WindowOpts{History: 10, Horizon: 5, Stride: 2}
+	n := len(Windows(d, &sc, opts))
+	if n == 0 {
+		b.Fatal("no windows built")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Windows(d, &sc, opts)
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "windows/s")
+}
+
+// BenchmarkMakeWindow measures the single-window online path (serving-time
+// extraction), which carves each window from an exact-size mini-slab.
+func BenchmarkMakeWindow(b *testing.B) {
+	d := makeDataset(1, 400)
+	var sc Scaler
+	sc.Fit(d.Traces)
+	opts := WindowOpts{History: 10, Horizon: 5, Stride: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MakeWindow(&d.Traces[0], 0, i%300, &sc, opts)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "windows/s")
 }

@@ -252,12 +252,27 @@ func (sc *Scaler) Fit(traces []Trace) {
 	sc.fitted = true
 }
 
-// ScaleFeature scales one feature value to [0, 1] (clipped mildly beyond).
+// ScaleFeature scales one feature value to [0, 1] (clipped mildly beyond:
+// the result is bounded to [-0.5, 1.5], so a serving-time input far outside
+// the fitted range degrades gracefully instead of dominating the model
+// input). Values within the fitted range are returned exactly as scaled;
+// NaN passes through so poisoned samples stay detectable downstream.
 func (sc *Scaler) ScaleFeature(f int, v float64) float64 {
-	return (v - sc.FeatMin[f]) / (sc.FeatMax[f] - sc.FeatMin[f])
+	s := (v - sc.FeatMin[f]) / (sc.FeatMax[f] - sc.FeatMin[f])
+	if s < -0.5 {
+		return -0.5
+	}
+	if s > 1.5 {
+		return 1.5
+	}
+	return s
 }
 
-// ScaleTput scales a throughput in Mbps to the unit range.
+// ScaleTput scales a throughput in Mbps to the unit range. It deliberately
+// does NOT clip (unlike ScaleFeature): predictions are inverted back to
+// Mbps via InvertTput, and clipping the target scale would silently bias
+// the loss and break the ScaleTput/InvertTput round-trip that downstream
+// consumers (MPC, the serving layer) rely on.
 func (sc *Scaler) ScaleTput(v float64) float64 {
 	return (v - sc.TputMin) / (sc.TputMax - sc.TputMin)
 }
@@ -283,8 +298,21 @@ type WindowOpts struct {
 // DefaultWindowOpts mirrors the paper: input and output length 10.
 func DefaultWindowOpts() WindowOpts { return WindowOpts{History: 10, Horizon: 10, Stride: 1} }
 
+// Per-window slab sizes: every window's float64 payload, slice headers and
+// X spines are carved out of three bulk allocations instead of the
+// MaxCC*(T+2)+4 small makes the naive layout needs.
+func slabSizes(opts WindowOpts) (floats, rows, outers int) {
+	T, H := opts.History, opts.Horizon
+	floats = MaxCC*T*NumCCFeatures + MaxCC*T + T + H + MaxCC*H
+	rows = MaxCC*T + 2*MaxCC
+	outers = MaxCC
+	return
+}
+
 // Windows extracts supervised windows from every trace of the dataset,
-// scaled by sc (which must be fitted).
+// scaled by sc (which must be fitted). All windows are zero-copy views
+// over three preallocated backing slabs (values, slice headers, X spines),
+// sized by a counting pre-pass.
 func Windows(d *Dataset, sc *Scaler, opts WindowOpts) []Window {
 	if !sc.Fitted() {
 		panic("trace: scaler not fitted")
@@ -292,12 +320,27 @@ func Windows(d *Dataset, sc *Scaler, opts WindowOpts) []Window {
 	if opts.Stride <= 0 {
 		opts.Stride = 1
 	}
-	var out []Window
+	span := opts.History + opts.Horizon
+	total := 0
+	for ti := range d.Traces {
+		if n := len(d.Traces[ti].Samples); n >= span {
+			total += (n-span)/opts.Stride + 1
+		}
+	}
+	fPer, rPer, oPer := slabSizes(opts)
+	floats := make([]float64, total*fPer)
+	rows := make([][]float64, total*rPer)
+	outers := make([][][]float64, total*oPer)
+	out := make([]Window, 0, total)
 	for ti := range d.Traces {
 		tr := &d.Traces[ti]
 		n := len(tr.Samples)
-		for start := 0; start+opts.History+opts.Horizon <= n; start += opts.Stride {
-			out = append(out, MakeWindow(tr, ti, start, sc, opts))
+		for start := 0; start+span <= n; start += opts.Stride {
+			wi := len(out)
+			out = append(out, buildWindow(tr, ti, start, sc, opts,
+				floats[wi*fPer:(wi+1)*fPer],
+				rows[wi*rPer:(wi+1)*rPer],
+				outers[wi*oPer:(wi+1)*oPer]))
 		}
 	}
 	obs.Add("trace.windows_built", int64(len(out)))
@@ -311,23 +354,44 @@ func Windows(d *Dataset, sc *Scaler, opts WindowOpts) []Window {
 // may pass a start whose horizon exceeds the trace, in which case the
 // missing future samples are zero.
 func MakeWindow(tr *Trace, ti, start int, sc *Scaler, opts WindowOpts) Window {
+	fPer, rPer, oPer := slabSizes(opts)
+	return buildWindow(tr, ti, start, sc, opts,
+		make([]float64, fPer), make([][]float64, rPer), make([][][]float64, oPer))
+}
+
+// buildWindow fills one window from caller-provided zeroed slabs: floats
+// holds every float64 value, rows every inner slice header, outers the
+// per-CC X spines. Each leaf slice is capped at its own length so an
+// append by a consumer can never bleed into a neighbouring window.
+func buildWindow(tr *Trace, ti, start int, sc *Scaler, opts WindowOpts,
+	floats []float64, rows [][]float64, outers [][][]float64) Window {
 	T, H := opts.History, opts.Horizon
+	F := NumCCFeatures
+	xFlat := floats[:MaxCC*T*F]
+	maskFlat := floats[MaxCC*T*F : MaxCC*T*F+MaxCC*T]
+	off := MaxCC*T*F + MaxCC*T
+	aggHist := floats[off : off+T : off+T]
+	y := floats[off+T : off+T+H : off+T+H]
+	ypccFlat := floats[off+T+H : off+T+H+MaxCC*H]
+	xRows := rows[:MaxCC*T]
+	maskRows := rows[MaxCC*T : MaxCC*T+MaxCC : MaxCC*T+MaxCC]
+	ypccRows := rows[MaxCC*T+MaxCC : MaxCC*T+2*MaxCC : MaxCC*T+2*MaxCC]
 	w := Window{
-		X:        make([][][]float64, MaxCC),
-		Mask:     make([][]float64, MaxCC),
-		AggHist:  make([]float64, T),
-		Y:        make([]float64, H),
-		YPerCC:   make([][]float64, MaxCC),
+		X:        outers[:MaxCC:MaxCC],
+		Mask:     maskRows,
+		AggHist:  aggHist,
+		Y:        y,
+		YPerCC:   ypccRows,
 		TraceIdx: ti,
 		Start:    start,
 	}
 	for c := 0; c < MaxCC; c++ {
-		w.X[c] = make([][]float64, T)
-		w.Mask[c] = make([]float64, T)
-		w.YPerCC[c] = make([]float64, H)
+		w.X[c] = xRows[c*T : (c+1)*T : (c+1)*T]
+		w.Mask[c] = maskFlat[c*T : (c+1)*T : (c+1)*T]
+		w.YPerCC[c] = ypccFlat[c*H : (c+1)*H : (c+1)*H]
 		for t := 0; t < T; t++ {
 			s := &tr.Samples[start+t]
-			vec := make([]float64, NumCCFeatures)
+			vec := xFlat[(c*T+t)*F : (c*T+t+1)*F : (c*T+t+1)*F]
 			cc := &s.CCs[c]
 			if cc.Present {
 				vec[FActive] = cc.Vec[FActive]
@@ -350,28 +414,42 @@ func MakeWindow(tr *Trace, ti, start int, sc *Scaler, opts WindowOpts) Window {
 		}
 	}
 	for t := 0; t < T; t++ {
-		w.AggHist[t] = sc.ScaleTput(tr.Samples[start+t].AggTput)
+		aggHist[t] = sc.ScaleTput(tr.Samples[start+t].AggTput)
 	}
 	for h := 0; h < H; h++ {
 		if start+T+h >= len(tr.Samples) {
 			break
 		}
-		w.Y[h] = sc.ScaleTput(tr.Samples[start+T+h].AggTput)
+		y[h] = sc.ScaleTput(tr.Samples[start+T+h].AggTput)
 	}
 	return w
 }
 
 // Split partitions windows into train/validation/test sets with the given
-// ratios (paper: 0.5/0.2/0.3), shuffled deterministically by src.
+// ratios (paper: 0.5/0.2/0.3), shuffled deterministically by src. The two
+// boundaries are rounded cumulatively (round-half-to-even), so each set's
+// size is within one window of its exact fraction — truncating both
+// fractions independently used to starve the middle (validation) set on
+// small N, e.g. 9 windows at 0.5/0.2 came out 4/1/4 instead of 4/2/3.
 func Split(ws []Window, trainFrac, valFrac float64, src *rng.Source) (train, val, test []Window) {
 	idx := src.Perm(len(ws))
-	nTrain := int(trainFrac * float64(len(ws)))
-	nVal := int(valFrac * float64(len(ws)))
+	n := float64(len(ws))
+	b1 := int(math.RoundToEven(trainFrac * n))
+	b2 := int(math.RoundToEven((trainFrac + valFrac) * n))
+	if b1 > len(ws) {
+		b1 = len(ws)
+	}
+	if b2 > len(ws) {
+		b2 = len(ws)
+	}
+	if b2 < b1 {
+		b2 = b1
+	}
 	for i, j := range idx {
 		switch {
-		case i < nTrain:
+		case i < b1:
 			train = append(train, ws[j])
-		case i < nTrain+nVal:
+		case i < b2:
 			val = append(val, ws[j])
 		default:
 			test = append(test, ws[j])

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"prism5g/internal/rng"
+)
+
+// TestScaleFeatureClipsBeyondFittedRange pins the documented "(clipped
+// mildly beyond)" behaviour: inputs far outside the fitted range are
+// bounded to [-0.5, 1.5], in-range inputs are returned exactly as scaled,
+// and NaN passes through.
+func TestScaleFeatureClipsBeyondFittedRange(t *testing.T) {
+	var sc Scaler
+	sc.FeatMin[FRSRP], sc.FeatMax[FRSRP] = -120, -80
+
+	if got := sc.ScaleFeature(FRSRP, -100); got != 0.5 {
+		t.Fatalf("in-range value changed: got %v, want 0.5", got)
+	}
+	// Mildly beyond the range stays linear (no clip inside [-0.5, 1.5]).
+	if got := sc.ScaleFeature(FRSRP, -125); got != -0.125 {
+		t.Fatalf("mildly-out-of-range value clipped early: got %v, want -0.125", got)
+	}
+	if got := sc.ScaleFeature(FRSRP, -75); got != 1.125 {
+		t.Fatalf("mildly-out-of-range value clipped early: got %v, want 1.125", got)
+	}
+	// Far beyond clips.
+	if got := sc.ScaleFeature(FRSRP, -200); got != -0.5 {
+		t.Fatalf("far-below value not clipped: got %v, want -0.5", got)
+	}
+	if got := sc.ScaleFeature(FRSRP, 0); got != 1.5 {
+		t.Fatalf("far-above value not clipped: got %v, want 1.5", got)
+	}
+	// NaN must survive so poisoned windows stay detectable.
+	if got := sc.ScaleFeature(FRSRP, math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("NaN swallowed by clip: got %v", got)
+	}
+
+	// ScaleTput deliberately does not clip: the inversion round-trip must
+	// hold arbitrarily far outside the fitted range.
+	sc.TputMin, sc.TputMax = 0, 100
+	if got := sc.ScaleTput(1000); got != 10 {
+		t.Fatalf("ScaleTput clipped: got %v, want 10", got)
+	}
+	if got := sc.InvertTput(sc.ScaleTput(1000)); got != 1000 {
+		t.Fatalf("ScaleTput/InvertTput round-trip broken: got %v", got)
+	}
+}
+
+// TestSplitSmallNTable pins Split's cumulative rounding on small N, where
+// the old independent truncation starved the validation set (9 windows at
+// 0.5/0.2 used to come out 4/1/4).
+func TestSplitSmallNTable(t *testing.T) {
+	cases := []struct {
+		n                   int
+		trainFrac, valFrac  float64
+		nTrain, nVal, nTest int
+	}{
+		{9, 0.5, 0.2, 4, 2, 3}, // the issue's example: was 4/1/4
+		{10, 0.5, 0.2, 5, 2, 3},
+		{9, 0.5, 0.3, 4, 3, 2},
+		{5, 0.6, 0.2, 3, 1, 1},
+		{1, 0.5, 0.2, 0, 1, 0},
+		{2, 0.5, 0.2, 1, 0, 1},
+		{0, 0.5, 0.2, 0, 0, 0},
+		{7, 1, 0, 7, 0, 0},
+	}
+	for _, c := range cases {
+		ws := make([]Window, c.n)
+		train, val, test := Split(ws, c.trainFrac, c.valFrac, rng.New(1))
+		if len(train) != c.nTrain || len(val) != c.nVal || len(test) != c.nTest {
+			t.Errorf("Split(%d, %v, %v) = %d/%d/%d, want %d/%d/%d",
+				c.n, c.trainFrac, c.valFrac, len(train), len(val), len(test),
+				c.nTrain, c.nVal, c.nTest)
+		}
+		if len(train)+len(val)+len(test) != c.n {
+			t.Errorf("Split(%d) dropped windows", c.n)
+		}
+	}
+}
+
+// TestSplitSizesWithinOneOfExact checks the general guarantee: every set's
+// size is within one window of its exact fractional share.
+func TestSplitSizesWithinOneOfExact(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		ws := make([]Window, n)
+		train, val, test := Split(ws, 0.5, 0.2, rng.New(uint64(n)+1))
+		fn := float64(n)
+		if d := math.Abs(float64(len(train)) - 0.5*fn); d > 1 {
+			t.Fatalf("n=%d train size %d is %.1f from exact", n, len(train), d)
+		}
+		if d := math.Abs(float64(len(val)) - 0.2*fn); d > 1 {
+			t.Fatalf("n=%d val size %d is %.1f from exact", n, len(val), d)
+		}
+		if d := math.Abs(float64(len(test)) - 0.3*fn); d > 1 {
+			t.Fatalf("n=%d test size %d is %.1f from exact", n, len(test), d)
+		}
+	}
+}
+
+// onlineTestTrace builds a small single-CC trace with recognizable
+// throughput values.
+func onlineTestTrace(n int) Trace {
+	tr := Trace{StepS: 1}
+	for i := 0; i < n; i++ {
+		var s Sample
+		s.T = float64(i)
+		s.AggTput = float64(10 + i)
+		s.NumActiveCCs = 1
+		s.CCs[0].Present = true
+		s.CCs[0].IsPCell = true
+		s.CCs[0].Vec[FActive] = 1
+		s.CCs[0].Vec[FRSRP] = -100 + float64(i)
+		s.CCs[0].Vec[FTput] = s.AggTput
+		tr.Samples = append(tr.Samples, s)
+	}
+	return tr
+}
+
+// TestMakeWindowOnlineZeroFill pins the documented online path: a start
+// whose horizon extends past the end of the trace zero-fills the missing
+// future samples instead of panicking or aliasing stale data.
+func TestMakeWindowOnlineZeroFill(t *testing.T) {
+	tr := onlineTestTrace(12)
+	ds := &Dataset{Traces: []Trace{tr}}
+	var sc Scaler
+	sc.Fit(ds.Traces)
+	opts := WindowOpts{History: 10, Horizon: 5, Stride: 1}
+
+	// start=0: samples 10..11 exist for h=0,1; h=2..4 are past the end.
+	w := MakeWindow(&ds.Traces[0], 0, 0, &sc, opts)
+	for h := 0; h < 2; h++ {
+		want := sc.ScaleTput(tr.Samples[10+h].AggTput)
+		if w.Y[h] != want {
+			t.Fatalf("Y[%d] = %v, want %v", h, w.Y[h], want)
+		}
+		wantCC := sc.ScaleTput(tr.Samples[10+h].CCs[0].Vec[FTput])
+		if w.YPerCC[0][h] != wantCC {
+			t.Fatalf("YPerCC[0][%d] = %v, want %v", h, w.YPerCC[0][h], wantCC)
+		}
+	}
+	for h := 2; h < 5; h++ {
+		if w.Y[h] != 0 {
+			t.Fatalf("Y[%d] = %v, want zero-fill past end of trace", h, w.Y[h])
+		}
+		for c := 0; c < MaxCC; c++ {
+			if w.YPerCC[c][h] != 0 {
+				t.Fatalf("YPerCC[%d][%d] = %v, want zero-fill", c, h, w.YPerCC[c][h])
+			}
+		}
+	}
+	// History must still be fully populated.
+	for ti := 0; ti < 10; ti++ {
+		if w.AggHist[ti] != sc.ScaleTput(tr.Samples[ti].AggTput) {
+			t.Fatalf("AggHist[%d] wrong", ti)
+		}
+	}
+}
+
+// TestWindowsSlabMatchesMakeWindow checks that the slab-backed bulk path
+// produces windows identical to per-start MakeWindow calls, and that the
+// shared backing never lets one window's slices bleed into a neighbour's.
+func TestWindowsSlabMatchesMakeWindow(t *testing.T) {
+	ds := &Dataset{Traces: []Trace{onlineTestTrace(30), onlineTestTrace(25)}}
+	var sc Scaler
+	sc.Fit(ds.Traces)
+	opts := WindowOpts{History: 10, Horizon: 5, Stride: 2}
+
+	got := Windows(ds, &sc, opts)
+	var want []Window
+	for ti := range ds.Traces {
+		n := len(ds.Traces[ti].Samples)
+		for start := 0; start+opts.History+opts.Horizon <= n; start += opts.Stride {
+			want = append(want, MakeWindow(&ds.Traces[ti], ti, start, &sc, opts))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Windows built %d windows, per-start MakeWindow built %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("window %d differs between slab and per-start paths", i)
+		}
+	}
+
+	// Appending to any leaf slice of window 0 must not clobber window 1
+	// (every view is capped at its own length).
+	w0, w1 := got[0], got[1]
+	before := append([]float64(nil), w1.AggHist...)
+	_ = append(w0.AggHist, 99)
+	_ = append(w0.Y, 99)
+	_ = append(w0.Mask[MaxCC-1], 99)
+	_ = append(w0.X[MaxCC-1][opts.History-1], 99)
+	_ = append(w0.YPerCC[MaxCC-1], 99)
+	for i := range before {
+		if w1.AggHist[i] != before[i] {
+			t.Fatal("append to window 0 bled into window 1")
+		}
+	}
+	if w1.X[0][0][0] != want[1].X[0][0][0] || w1.Y[0] != want[1].Y[0] {
+		t.Fatal("append to window 0 corrupted window 1")
+	}
+}

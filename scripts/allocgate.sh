@@ -1,0 +1,87 @@
+#!/bin/sh
+# allocgate.sh [baseline.json] [threshold_pct]
+#
+# Allocation-regression gate for the two hot-path benchmarks the
+# allocation diet targets:
+#
+#   BenchmarkTrainLoop                (internal/predictors)
+#   BenchmarkParallelTable4/workers=1 (repo root)
+#
+# Re-runs both with -benchmem and compares allocs_per_op against the
+# checked-in baseline (BENCH_obs.json by default). Fails — exit 1 — if
+# either regresses by more than threshold_pct (default 20%). Allocation
+# counts are deterministic enough that a single -benchtime=1x shot is a
+# stable signal, so the gate stays cheap for CI; wall-clock and bytes are
+# reported but never gated (too noisy on shared runners).
+set -eu
+
+baseline=${1:-BENCH_obs.json}
+threshold=${2:-20}
+GO=${GO:-go}
+
+if [ ! -f "$baseline" ]; then
+    echo "allocgate: baseline $baseline not found" >&2
+    exit 1
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+$GO test -run '^$' -benchtime=1x -benchmem \
+    -bench 'BenchmarkParallelTable4/workers=1$' . >"$tmp"
+$GO test -run '^$' -benchtime=1x -benchmem \
+    -bench 'BenchmarkTrainLoop$' ./internal/predictors/ >>"$tmp"
+
+cat "$tmp" >&2
+
+# current <name> -> allocs/op from the fresh run (GOMAXPROCS suffix
+# stripped, matching benchjson.sh).
+current() {
+    awk -v want="$1" '
+        $1 ~ /^Benchmark/ && $NF == "allocs/op" {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            if (name == want) { print $(NF-1); exit }
+        }' "$tmp"
+}
+
+# base <name> -> allocs_per_op from the baseline JSON (one object per
+# line, as benchjson.sh writes it).
+base() {
+    awk -v want="$1" '
+        index($0, "\"name\": \"" want "\"") {
+            if (match($0, /"allocs_per_op": [0-9]+/)) {
+                print substr($0, RSTART + 17, RLENGTH - 17)
+                exit
+            }
+        }' "$baseline"
+}
+
+fail=0
+for name in "BenchmarkTrainLoop" "BenchmarkParallelTable4/workers=1"; do
+    cur=$(current "$name")
+    ref=$(base "$name")
+    if [ -z "$cur" ]; then
+        echo "allocgate: FAIL $name: no result in fresh bench run" >&2
+        fail=1
+        continue
+    fi
+    if [ -z "$ref" ]; then
+        echo "allocgate: FAIL $name: no allocs_per_op in $baseline" >&2
+        fail=1
+        continue
+    fi
+    # Integer math: cur*100 > ref*(100+threshold) means >threshold% worse.
+    if [ $((cur * 100)) -gt $((ref * (100 + threshold))) ]; then
+        echo "allocgate: FAIL $name: $cur allocs/op vs baseline $ref (>${threshold}% regression)" >&2
+        fail=1
+    else
+        echo "allocgate: ok   $name: $cur allocs/op vs baseline $ref" >&2
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "allocgate: allocation regression detected; if intentional, regenerate $baseline with scripts/benchjson.sh and justify in the PR" >&2
+    exit 1
+fi
+echo "allocgate: all hot paths within ${threshold}% of baseline" >&2

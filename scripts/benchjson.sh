@@ -2,12 +2,24 @@
 # benchjson.sh [output.json]
 #
 # Runs the repository's headline benchmarks (dataset build, the Table 4
-# fan-out, the shared training loop and the ingest repair pass) with
-# -benchmem and converts the `go test -bench` text output into a JSON
-# array, one object per benchmark:
+# fan-out, the shared training loop, window extraction and the ingest
+# repair pass) with -benchmem and converts the `go test -bench` text
+# output into a JSON array, one object per benchmark:
 #
-#   {"name": "BenchmarkTrainLoop", "iterations": 1,
-#    "ns_per_op": 30454681, "bytes_per_op": 15711640, "allocs_per_op": 177211}
+#   {"name": "BenchmarkTrainLoop", "iterations": 240, "runs": 3,
+#    "ns_per_op": 14318042, "bytes_per_op": 891544, "allocs_per_op": 119,
+#    "windows_per_s": 44000}
+#
+# Every benchmark runs for a real -benchtime (default 1s) and is repeated
+# -count times (default 3); per-op numbers in the JSON are the mean across
+# the repeats and `iterations` is the total iteration count, so entries no
+# longer record single-shot `iterations: 1` noise. Override with the
+# BENCHTIME / COUNT environment variables (e.g. BENCHTIME=100ms COUNT=1
+# for a quick smoke).
+#
+# Custom throughput metrics reported via b.ReportMetric — windows/s and
+# traces/s, the headline numbers — are carried into the JSON as
+# `windows_per_s` / `traces_per_s` when present.
 #
 # Results are wrapped in an object with a `host` block (GOMAXPROCS, CPU
 # count, CPU model, Go version) so numbers are never compared across
@@ -21,6 +33,8 @@ set -eu
 
 out=${1:-BENCH_obs.json}
 GO=${GO:-go}
+BENCHTIME=${BENCHTIME:-1s}
+COUNT=${COUNT:-3}
 
 ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 # GOMAXPROCS defaults to the CPU count unless overridden in the environment.
@@ -31,33 +45,36 @@ cpumodel=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-$GO test -run '^$' -benchtime=1x -benchmem \
+$GO test -run '^$' -benchtime="$BENCHTIME" -count="$COUNT" -benchmem \
     -bench 'BenchmarkParallelBuild|BenchmarkParallelTable4' . >"$tmp"
-$GO test -run '^$' -benchtime=1x -benchmem \
+$GO test -run '^$' -benchtime="$BENCHTIME" -count="$COUNT" -benchmem \
     -bench 'BenchmarkTrainLoop' ./internal/predictors/ >>"$tmp"
-$GO test -run '^$' -benchtime=1x -benchmem \
-    -bench 'BenchmarkRepair' ./internal/trace/ >>"$tmp"
+$GO test -run '^$' -benchtime="$BENCHTIME" -count="$COUNT" -benchmem \
+    -bench 'BenchmarkRepair|BenchmarkWindows|BenchmarkMakeWindow' ./internal/trace/ >>"$tmp"
 
 cat "$tmp" >&2
 
 # A -benchmem result line looks like:
-#   BenchmarkRepair    1    1165891 ns/op    1312544 B/op    48 allocs/op
-# Sub-benchmarks carry a /suffix and a -N CPU suffix; both are kept in the
-# name so entries stay unique.
+#   BenchmarkRepair    950    1165891 ns/op    1312544 B/op    48 allocs/op
+# with any b.ReportMetric values (windows/s, traces/s) interleaved by unit.
+# Sub-benchmarks carry a /suffix, kept in the name; the -N GOMAXPROCS
+# suffix (absent when GOMAXPROCS=1) is stripped so names stay stable
+# across hosts. -count repeats are averaged per name.
 awk -v gmp="$gomaxprocs" -v ncpu="$ncpu" -v gover="$goversion" -v cpu="$cpumodel" '
 $1 ~ /^Benchmark/ && $NF == "allocs/op" {
     name = $1
-    iters = $2
-    ns = ""; bytes = ""; allocs = ""
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in runs)) order[++nnames] = name
+    runs[name]++
+    iters[name] += $2
     for (i = 3; i < NF; i++) {
-        if ($(i+1) == "ns/op") ns = $i
-        if ($(i+1) == "B/op") bytes = $i
-        if ($(i+1) == "allocs/op") allocs = $i
+        unit = $(i+1)
+        if (unit == "ns/op")     ns[name]     += $i
+        if (unit == "B/op")      bytes[name]  += $i
+        if (unit == "allocs/op") allocs[name] += $i
+        if (unit == "windows/s") wps[name]    += $i
+        if (unit == "traces/s")  tps[name]    += $i
     }
-    if (ns == "" || bytes == "") next
-    if (n++) printf ",\n"
-    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-        name, iters, ns, bytes, $(NF-1)
 }
 BEGIN {
     printf "{\n"
@@ -65,7 +82,19 @@ BEGIN {
         gmp, ncpu, gover, cpu
     printf "  \"benchmarks\": [\n"
 }
-END   { printf "\n  ]\n}\n" }
+END {
+    for (j = 1; j <= nnames; j++) {
+        name = order[j]
+        r = runs[name]
+        if (j > 1) printf ",\n"
+        printf "    {\"name\": \"%s\", \"iterations\": %d, \"runs\": %d, \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f", \
+            name, iters[name], r, ns[name] / r, bytes[name] / r, allocs[name] / r
+        if (name in wps) printf ", \"windows_per_s\": %.0f", wps[name] / r
+        if (name in tps) printf ", \"traces_per_s\": %.0f", tps[name] / r
+        printf "}"
+    }
+    printf "\n  ]\n}\n"
+}
 ' "$tmp" >"$out"
 
-echo "benchjson: wrote $(grep -c '"name"' "$out") benchmarks to $out" >&2
+echo "benchjson: wrote $(grep -c '"name"' "$out") benchmarks to $out (benchtime=$BENCHTIME count=$COUNT)" >&2
