@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race fuzz-smoke bench bench-json alloc-gate obs-smoke serve-smoke conform golden cover check
+.PHONY: build vet test test-race fuzz-smoke bench bench-json alloc-gate obs-smoke serve-smoke pop-smoke conform golden cover check
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,12 @@ obs-smoke:
 # drain cleanly on SIGTERM.
 serve-smoke:
 	./scripts/servesmoke.sh
+
+# Population-mode smoke: a jsonl-spilled build must emit one trace per
+# UE, be byte-identical at any worker count, and the prismeval
+# -population streaming pipeline must run end to end.
+pop-smoke:
+	./scripts/popsmoke.sh
 
 # Paper-conformance suite: goldens + statistical invariants + metamorphic
 # laws. Exits nonzero on any violation.

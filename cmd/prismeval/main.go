@@ -15,13 +15,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"path/filepath"
 
 	"prism5g/internal/experiments"
 	"prism5g/internal/mobility"
 	"prism5g/internal/obs"
+	"prism5g/internal/pop"
+	"prism5g/internal/predictors"
+	"prism5g/internal/ran"
 	"prism5g/internal/sim"
 	"prism5g/internal/spectrum"
+	"prism5g/internal/trace"
 )
 
 func main() {
@@ -34,6 +41,7 @@ func main() {
 	doSeries := flag.Bool("series", false, "run the Fig 17/18 transition analysis")
 	doRuntime := flag.Bool("runtime", false, "run the §6.1 runtime comparison")
 	doRobust := flag.Bool("robust", false, "run the fault-severity robustness sweep")
+	doPop := flag.Bool("population", false, "run the population streaming pipeline: pop build -> JSONL spill -> streamed windows -> streamed training")
 	doAll := flag.Bool("all", false, "run everything")
 	teleFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
@@ -51,7 +59,7 @@ func main() {
 		cfg = experiments.QuickMLConfig(*seed)
 	}
 	cfg.Workers = *workers
-	if !(*doTable4 || *doAblation || *doGeneral || *doSeries || *doRuntime || *doRobust) {
+	if !(*doTable4 || *doAblation || *doGeneral || *doSeries || *doRuntime || *doRobust || *doPop) {
 		*doAll = true
 	}
 
@@ -110,10 +118,126 @@ func main() {
 		res := experiments.RobustnessSweep(spec, experiments.DefaultSeverities(), cfg)
 		fmt.Println(res.Format())
 	}
+	if *doAll || *doPop {
+		fmt.Println("\n== Population streaming pipeline (OpZ urban walking) ==")
+		if err := runPopulation(*quick, *seed, *workers); err != nil {
+			log.Fatalf("prismeval: population: %v", err)
+		}
+	}
 	if tele.Active() {
 		fmt.Println(tele.Summary())
 		if err := tele.Close(); err != nil {
 			log.Fatalf("prismeval: %v", err)
 		}
 	}
+}
+
+// splitSink routes every everyN-th trace to val and the rest to train —
+// the trace-level split a streamed population uses instead of a shuffled
+// in-memory one.
+type splitSink struct {
+	train, val trace.Sink
+	everyN     int
+	n          int
+}
+
+func (s *splitSink) Emit(tr trace.Trace) error {
+	i := s.n
+	s.n++
+	if s.everyN > 0 && i%s.everyN == s.everyN-1 {
+		return s.val.Emit(tr)
+	}
+	return s.train.Emit(tr)
+}
+
+func (s *splitSink) Close() error {
+	terr := s.train.Close()
+	verr := s.val.Close()
+	if terr != nil {
+		return terr
+	}
+	return verr
+}
+
+// runPopulation exercises the constant-memory population path end to end:
+// the population streams through JSONL spill files (never materialized),
+// the scaler fits incrementally over the training spill, and the LSTM
+// baseline trains from streamed window chunks.
+func runPopulation(quick bool, seed uint64, workers int) error {
+	popN, dur := 512, 60.0
+	if quick {
+		popN, dur = 48, 30.0
+	}
+	dir, err := os.MkdirTemp("", "prismpop")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	trainPath := filepath.Join(dir, "train.jsonl")
+	valPath := filepath.Join(dir, "val.jsonl")
+	trainSink, err := trace.CreateJSONLSink(trainPath)
+	if err != nil {
+		return err
+	}
+	valSink, err := trace.CreateJSONLSink(valPath)
+	if err != nil {
+		return err
+	}
+	sink := &splitSink{train: trainSink, val: valSink, everyN: 5}
+
+	cfg := pop.Config{
+		Operator: spectrum.OpZ, Scenario: mobility.Urban, Mobility: mobility.Walking,
+		Modem: ran.ModemX70, Population: popN,
+		DurationS: dur, StepS: 1, Seed: seed, Workers: workers,
+		Rush: pop.RushProfile{Base: 0.4, Peak: 1, PeakAtS: dur / 2, WidthS: dur / 4},
+	}
+	rep, err := pop.Build(cfg, sink)
+	if cerr := sink.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("population %d (%d shards): %d traces spilled, mean %.1f Mbps, deepest cell contention %d UEs\n",
+		rep.Population, rep.Shards, rep.Traces, rep.MeanAggMbps, rep.MaxAttached)
+
+	src, err := trace.OpenJSONLSource(trainPath)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	var sc trace.Scaler
+	sc.BeginFit()
+	for {
+		tr, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		sc.ObserveTrace(tr)
+	}
+	sc.FinishFit()
+	if err := src.Reset(); err != nil {
+		return err
+	}
+	valSrc, err := trace.OpenJSONLSource(valPath)
+	if err != nil {
+		return err
+	}
+	defer valSrc.Close()
+
+	opts := trace.WindowOpts{History: 10, Horizon: 10, Stride: 1}
+	topts := predictors.TrainOpts{Epochs: 30, Batch: 64, LR: 0.01, Patience: 6, Seed: seed}
+	m := predictors.NewLSTMPredictor(16, 10, topts)
+	trep, err := predictors.TrainLoopStream(m,
+		trace.StreamWindows(src, &sc, opts),
+		trace.StreamWindows(valSrc, &sc, opts), topts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("streamed training: %d epochs, val RMSE %.4f (scaled), train RMSE %.4f, %v\n",
+		trep.Epochs, trep.ValRMSE, trep.TrainRMSE, trep.Duration.Round(1e6))
+	return nil
 }

@@ -186,7 +186,8 @@ func memoized[T any](c *Ctx, key string, produce func() T) T {
 // harness knows, in report order.
 func Checks() []Check {
 	cs := append(invariantChecks(), metamorphicChecks()...)
-	return append(cs, servingChecks()...)
+	cs = append(cs, servingChecks()...)
+	return append(cs, populationChecks()...)
 }
 
 // RunAll executes the full conformance suite: golden comparison (when the

@@ -1,0 +1,184 @@
+package conform
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"prism5g/internal/mobility"
+	"prism5g/internal/pop"
+	"prism5g/internal/ran"
+	"prism5g/internal/sim"
+	"prism5g/internal/spectrum"
+	"prism5g/internal/trace"
+)
+
+// populationChecks lists the streaming/population laws: the population
+// path and the streaming windows are refactorings of the materialized
+// pipeline, so both must reproduce it bit for bit at the boundary cases.
+func populationChecks() []Check {
+	return []Check{
+		{Name: "population-n1-equivalence", Figs: "population mode",
+			Run: checkPopulationN1},
+		{Name: "streaming-window-equivalence", Figs: "streaming pipeline",
+			Run: checkStreamingWindows},
+	}
+}
+
+// checkPopulationN1: a population of one is the standalone simulator. Two
+// anchors: (1) pop UE 0's emitted trace equals sim.Run on the derived
+// standalone config byte for byte; (2) with BaseSeeds pinning UE 0 to the
+// first sim.Build campaign seed, the population trace equals sim.Build's
+// first trace byte for byte — population mode degrades exactly to the
+// dataset generator, never approximately.
+func checkPopulationN1(c *Ctx) []Violation {
+	const name = "population-n1-equivalence"
+	var out []Violation
+
+	cfg := pop.Config{
+		Operator: spectrum.OpZ, Scenario: mobility.Urban, Mobility: mobility.Walking,
+		Modem: ran.ModemX70, Population: 1,
+		DurationS: 20, StepS: 1, Seed: c.Cfg.Seed,
+	}
+	d, rep, err := pop.BuildDataset(cfg)
+	if err != nil {
+		return append(out, Violation{Check: name, Msg: "population build failed: " + err.Error()})
+	}
+	if rep.Traces != 1 || len(d.Traces) != 1 {
+		return append(out, violate(name, "traces",
+			"a population of one must emit exactly one trace", rep.Traces, 1))
+	}
+	standalone, _ := sim.Run(cfg.RunConfigFor(0))
+	if v := compareTraceBytes(name, "ue[0] vs sim.Run", d.Traces[0], standalone); v != nil {
+		out = append(out, *v)
+	}
+
+	spec := mlSpec()
+	bopts := sim.BuildOpts{Traces: 1, SamplesPerTrace: 40, Seed: c.Cfg.Seed,
+		Modem: ran.ModemX70, Workers: c.Cfg.Workers}
+	ds, _ := sim.BuildReport(spec, bopts)
+	rc0 := sim.BuildConfigs(spec, bopts)[0]
+	popCfg := pop.Config{
+		Operator: rc0.Operator, Scenario: rc0.Scenario, Mobility: rc0.Mobility,
+		Modem: rc0.Modem, Population: 1,
+		DurationS: rc0.DurationS, StepS: rc0.StepS,
+		Seed: c.Cfg.Seed, BaseSeeds: []uint64{rc0.Seed},
+	}
+	pd, _, err := pop.BuildDataset(popCfg)
+	if err != nil {
+		return append(out, Violation{Check: name, Msg: "pinned-seed population build failed: " + err.Error()})
+	}
+	if v := compareTraceBytes(name, "ue[0] vs sim.Build trace[0]", pd.Traces[0], ds.Traces[0]); v != nil {
+		out = append(out, *v)
+	}
+	return out
+}
+
+// compareTraceBytes JSON-serializes both traces (the repository's
+// byte-identity currency: NaN-safe, float64-exact) and reports the first
+// divergence.
+func compareTraceBytes(check, path string, got, want trace.Trace) *Violation {
+	gb, err := json.Marshal(got)
+	if err != nil {
+		v := Violation{Check: check, Path: path, Msg: "marshal got: " + err.Error()}
+		return &v
+	}
+	wb, err := json.Marshal(want)
+	if err != nil {
+		v := Violation{Check: check, Path: path, Msg: "marshal want: " + err.Error()}
+		return &v
+	}
+	if !bytes.Equal(gb, wb) {
+		v := violate(check, path, "traces must be byte-identical",
+			fmt.Sprintf("%d bytes", len(gb)), fmt.Sprintf("%d bytes", len(wb)))
+		return &v
+	}
+	return nil
+}
+
+// checkStreamingWindows: StreamWindows over a trace source — in memory or
+// through a JSONL spill file — must yield exactly the windows the
+// materialized trace.Windows pass produces: same count, same order, same
+// TraceIdx/Start, bit-identical values, at any chunk size.
+func checkStreamingWindows(c *Ctx) []Violation {
+	const name = "streaming-window-equivalence"
+	var out []Violation
+
+	ds, _ := sim.BuildReport(mlSpec(), sim.BuildOpts{
+		Traces: 4, SamplesPerTrace: 40, Seed: c.Cfg.Seed,
+		Modem: ran.ModemX70, Workers: c.Cfg.Workers})
+	sc := &trace.Scaler{}
+	sc.Fit(ds.Traces)
+	opts := trace.WindowOpts{History: 10, Horizon: 10, Stride: 1}
+	want := trace.Windows(ds, sc, opts)
+
+	collect := func(src trace.TraceSource, chunk int) ([]trace.Window, error) {
+		st := trace.StreamWindows(src, sc, opts)
+		var ws []trace.Window
+		for {
+			c, err := st.Next(chunk)
+			if err != nil {
+				return ws, err
+			}
+			if len(c) == 0 {
+				return ws, nil
+			}
+			ws = append(ws, c...)
+		}
+	}
+	checkEqual := func(path string, got []trace.Window, err error) {
+		if err != nil {
+			out = append(out, Violation{Check: name, Path: path, Msg: err.Error()})
+			return
+		}
+		if len(got) != len(want) {
+			out = append(out, violate(name, path,
+				"streamed window count must match the materialized pass", len(got), len(want)))
+			return
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				out = append(out, violate(name, fmt.Sprintf("%s window[%d]", path, i),
+					"streamed window must be bit-identical to the materialized one",
+					fmt.Sprintf("trace %d start %d", got[i].TraceIdx, got[i].Start),
+					fmt.Sprintf("trace %d start %d", want[i].TraceIdx, want[i].Start)))
+				return
+			}
+		}
+	}
+
+	for _, chunk := range []int{1, 13, 10_000} {
+		got, err := collect(trace.NewDatasetSource(ds), chunk)
+		checkEqual(fmt.Sprintf("dataset-source chunk=%d", chunk), got, err)
+	}
+
+	dir, err := os.MkdirTemp("", "conform-spill")
+	if err != nil {
+		return append(out, Violation{Check: name, Msg: "mkdtemp: " + err.Error()})
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "spill.jsonl")
+	sink, err := trace.CreateJSONLSink(path)
+	if err != nil {
+		return append(out, Violation{Check: name, Msg: err.Error()})
+	}
+	for _, tr := range ds.Traces {
+		if err := sink.Emit(tr); err != nil {
+			return append(out, Violation{Check: name, Msg: "spill: " + err.Error()})
+		}
+	}
+	if err := sink.Close(); err != nil {
+		return append(out, Violation{Check: name, Msg: "spill close: " + err.Error()})
+	}
+	src, err := trace.OpenJSONLSource(path)
+	if err != nil {
+		return append(out, Violation{Check: name, Msg: err.Error()})
+	}
+	defer src.Close()
+	got, err := collect(src, 13)
+	checkEqual("jsonl-source chunk=13", got, err)
+	return out
+}

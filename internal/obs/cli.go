@@ -139,7 +139,9 @@ func (c *CLI) Close() error {
 
 // Summary renders the one-line run summary the CLIs print: elapsed time,
 // traces and windows per second (from the pipeline counters) and peak
-// memory obtained from the OS per runtime.MemStats.
+// memory obtained from the OS per runtime.MemStats. Population builds add
+// a UEs/s line, and spilling sinks add their backpressure counters — both
+// only when those subsystems actually ran.
 func (c *CLI) Summary() string {
 	if c == nil {
 		return ""
@@ -153,8 +155,20 @@ func (c *CLI) Summary() string {
 	windows := r.Counter("trace.windows_built").Value()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	return fmt.Sprintf("telemetry: %.1fs elapsed, %.1f traces/s (%d), %.0f windows/s (%d), peak mem %.0f MiB",
+	s := fmt.Sprintf("telemetry: %.1fs elapsed, %.1f traces/s (%d), %.0f windows/s (%d), peak mem %.0f MiB",
 		elapsed, float64(traces)/elapsed, traces,
 		float64(windows)/elapsed, windows,
 		float64(ms.Sys)/(1<<20))
+	if ues := r.Counter("pop.ues_built").Value(); ues > 0 {
+		rate, _ := r.Gauge("pop.ues_per_s").Value()
+		att := r.Histogram("pop.cell_attached").Snapshot()
+		s += fmt.Sprintf("\npopulation: %d UEs, %.1f UEs/s, deepest cell contention %.0f",
+			ues, rate, att.Max)
+	}
+	if spilled := r.Counter("sink.spill_traces").Value(); spilled > 0 {
+		wait := r.Histogram("sink.emit_wait_s").Snapshot()
+		s += fmt.Sprintf("\nsink: spilled %d traces (%.1f MiB), %.2fs blocked on disk",
+			spilled, float64(r.Counter("sink.spill_bytes").Value())/(1<<20), wait.Sum)
+	}
+	return s
 }

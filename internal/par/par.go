@@ -226,3 +226,130 @@ func MustMap[T any](ctx context.Context, n, workers int, fn func(i int) T) []T {
 	}
 	return out
 }
+
+// OrderedStream runs produce(0..n-1) on at most workers goroutines and
+// feeds each result to consume on the calling goroutine, in strict task
+// index order, holding at most 2*workers results in flight. It is the
+// streaming counterpart of Map: same pool, same determinism contract
+// (consume sees exactly the serial sequence at any worker count), but
+// peak memory is bounded by the reorder window instead of n.
+//
+// Error semantics: consume's first error stops the stream and is
+// returned; results already produced for later indices are discarded. A
+// produce error (or captured panic, surfaced as *PanicError) is returned
+// when the consumer reaches that index — earlier indices are still
+// consumed first, so the observed prefix matches the serial run. A
+// cancelled context stops the stream with ctx.Err().
+func OrderedStream[T any](ctx context.Context, n, workers int, produce func(i int) (T, error), consume func(i int, v T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	tele := newPoolTelemetry(w)
+	defer tele.finish(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			v, err := produceTask(i, produce, tele)
+			if err != nil {
+				return err
+			}
+			if err := consume(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type slot struct {
+		v   T
+		err error
+	}
+	window := 2 * w
+	// ready[i%window] carries index i's result. Tickets bound the in-flight
+	// indices to the window, so claimed indices always span less than one
+	// window and each slot channel (capacity 1) has room for its send.
+	ready := make([]chan slot, window)
+	for i := range ready {
+		ready[i] = make(chan slot, 1)
+	}
+	tickets := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tickets <- struct{}{}
+	}
+	done := make(chan struct{})
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tickets:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					// Deliver the cancellation so the consumer never
+					// blocks on an index that was claimed but not run.
+					ready[i%window] <- slot{err: err}
+					continue
+				}
+				v, err := produceTask(i, produce, tele)
+				ready[i%window] <- slot{v: v, err: err}
+			}
+		}()
+	}
+
+	var streamErr error
+	for i := 0; i < n; i++ {
+		var s slot
+		select {
+		case s = <-ready[i%window]:
+		case <-ctx.Done():
+			streamErr = ctx.Err()
+		}
+		if streamErr == nil && s.err != nil {
+			streamErr = s.err
+		}
+		if streamErr == nil {
+			streamErr = consume(i, s.v)
+		}
+		if streamErr != nil {
+			break
+		}
+		tickets <- struct{}{}
+	}
+	close(done)
+	wg.Wait()
+	if streamErr != nil {
+		return streamErr
+	}
+	return ctx.Err()
+}
+
+// produceTask invokes produce(i) converting a panic into a *PanicError.
+func produceTask[T any](i int, produce func(i int) (T, error), tele *poolTelemetry) (v T, err error) {
+	t0 := tele.taskStart()
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Task: i, Value: p, Stack: debug.Stack()}
+			tele.taskPanicked()
+		}
+		tele.taskEnd(t0)
+	}()
+	return produce(i)
+}

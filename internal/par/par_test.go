@@ -136,6 +136,172 @@ func TestMustMapRepanics(t *testing.T) {
 	})
 }
 
+func TestOrderedStreamConsumesInOrder(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		var got []int
+		err := OrderedStream(context.Background(), 50, w,
+			func(i int) (int, error) {
+				// Stagger completion so later indices often finish first.
+				time.Sleep(time.Duration(50-i) * 10 * time.Microsecond)
+				return i * 3, nil
+			},
+			func(i, v int) error {
+				got = append(got, v)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: consumed %d of 50", w, len(got))
+		}
+		for i, v := range got {
+			if v != i*3 {
+				t.Fatalf("workers=%d: got[%d]=%d, want %d (out of order)", w, i, v, i*3)
+			}
+		}
+	}
+}
+
+func TestOrderedStreamBoundsInFlight(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	err := OrderedStream(context.Background(), 64, workers,
+		func(i int) (int, error) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			return i, nil
+		},
+		func(i, v int) error {
+			inFlight.Add(-1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reorder window is 2*workers: produced-but-unconsumed results
+	// never exceed it, which is the constant-memory guarantee.
+	if p := peak.Load(); p > 2*workers {
+		t.Fatalf("observed %d results in flight, window is %d", p, 2*workers)
+	}
+}
+
+func TestOrderedStreamConsumeErrorStops(t *testing.T) {
+	sentinel := errors.New("stop here")
+	for _, w := range []int{1, 4} {
+		var produced atomic.Int64
+		var consumed int
+		err := OrderedStream(context.Background(), 1000, w,
+			func(i int) (int, error) {
+				produced.Add(1)
+				return i, nil
+			},
+			func(i, v int) error {
+				consumed++
+				if i == 5 {
+					return sentinel
+				}
+				return nil
+			})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: want sentinel, got %v", w, err)
+		}
+		if consumed != 6 {
+			t.Fatalf("workers=%d: consumed %d, want exactly 6", w, consumed)
+		}
+		if n := produced.Load(); n >= 1000 {
+			t.Fatalf("workers=%d: consume error did not stop production", w)
+		}
+	}
+}
+
+func TestOrderedStreamProduceErrorPreservesPrefix(t *testing.T) {
+	sentinel := errors.New("bad task")
+	for _, w := range []int{1, 4} {
+		var got []int
+		err := OrderedStream(context.Background(), 20, w,
+			func(i int) (int, error) {
+				if i == 7 {
+					return 0, sentinel
+				}
+				return i, nil
+			},
+			func(i, v int) error {
+				got = append(got, v)
+				return nil
+			})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: want sentinel, got %v", w, err)
+		}
+		// The consumed prefix must be exactly the serial prefix 0..6.
+		if len(got) != 7 {
+			t.Fatalf("workers=%d: consumed %d, want 7", w, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: prefix[%d]=%d, want %d", w, i, v, i)
+			}
+		}
+	}
+}
+
+func TestOrderedStreamPanicSurfaces(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		err := OrderedStream(context.Background(), 10, w,
+			func(i int) (int, error) {
+				if i == 4 {
+					panic("stream boom")
+				}
+				return i, nil
+			},
+			func(i, v int) error { return nil })
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %v", w, err)
+		}
+		if pe.Task != 4 || fmt.Sprint(pe.Value) != "stream boom" {
+			t.Fatalf("workers=%d: wrong panic payload: %+v", w, pe)
+		}
+	}
+}
+
+func TestOrderedStreamCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var consumed atomic.Int64
+	err := OrderedStream(ctx, 1000, 2,
+		func(i int) (int, error) {
+			time.Sleep(time.Millisecond)
+			return i, nil
+		},
+		func(i, v int) error {
+			if consumed.Add(1) == 4 {
+				cancel()
+			}
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := consumed.Load(); n >= 1000 {
+		t.Fatal("cancellation did not stop the stream")
+	}
+}
+
+func TestOrderedStreamEmpty(t *testing.T) {
+	err := OrderedStream(context.Background(), 0, 4,
+		func(i int) (int, error) { return 0, errors.New("never") },
+		func(i, v int) error { return errors.New("never") })
+	if err != nil {
+		t.Fatalf("n=0 must be a no-op, got %v", err)
+	}
+}
+
 func TestEmptyAndSerialEdgeCases(t *testing.T) {
 	if err := ForEach(context.Background(), 0, 4, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal("n=0 must be a no-op")

@@ -1,0 +1,43 @@
+package pop
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"prism5g/internal/trace"
+)
+
+// BenchmarkPopulationBuild measures population-mode build throughput and
+// allocation behaviour across population sizes. Traces go to a
+// DiscardSink, so what is measured is the simulation plus the streaming
+// machinery — not sink retention. The headline custom metrics are ues/s
+// and allocs/ue: per-UE allocations must stay flat as the population
+// grows (constant per-UE cost is what makes city scale feasible), which
+// scripts/allocgate.sh enforces against the committed BENCH_pop.json.
+func BenchmarkPopulationBuild(b *testing.B) {
+	for _, popN := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("pop=%d", popN), func(b *testing.B) {
+			cfg := smallCfg(popN, 16)
+			b.ReportAllocs()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			b.ResetTimer()
+			var ues int
+			for i := 0; i < b.N; i++ {
+				var sink trace.DiscardSink
+				rep, err := Build(cfg, &sink)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ues += rep.Traces
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			if ues > 0 {
+				b.ReportMetric(float64(ues)/b.Elapsed().Seconds(), "ues/s")
+				b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(ues), "allocs/ue")
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package pop
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"prism5g/internal/mobility"
+	"prism5g/internal/ran"
+	"prism5g/internal/rng"
+	"prism5g/internal/sim"
+	"prism5g/internal/spectrum"
+)
+
+func smallCfg(population, shard int) Config {
+	return Config{
+		Operator: spectrum.OpZ, Scenario: mobility.Urban, Mobility: mobility.Walking,
+		Modem: ran.ModemX70, Population: population, ShardSize: shard,
+		DurationS: 20, StepS: 1, Seed: 4242,
+	}
+}
+
+// TestN1MatchesStandaloneRun is the population bit-identity anchor: a
+// population of one on the shared grid emits exactly the trace the
+// standalone single-UE simulator produces for the same derived config.
+func TestN1MatchesStandaloneRun(t *testing.T) {
+	cfg := smallCfg(1, 64)
+	d, rep, err := BuildDataset(cfg)
+	if err != nil {
+		t.Fatalf("BuildDataset: %v", err)
+	}
+	if rep.Traces != 1 || len(d.Traces) != 1 {
+		t.Fatalf("expected 1 trace, got report=%d dataset=%d", rep.Traces, len(d.Traces))
+	}
+	want, _ := sim.Run(cfg.RunConfigFor(0))
+	got, err := json.Marshal(d.Traces[0])
+	if err != nil {
+		t.Fatalf("marshal got: %v", err)
+	}
+	wantB, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("marshal want: %v", err)
+	}
+	if !bytes.Equal(got, wantB) {
+		t.Fatalf("population N=1 trace differs from standalone run (%d vs %d bytes)", len(got), len(wantB))
+	}
+}
+
+// TestDeterminismAcrossWorkers extends the par determinism contract to
+// population mode: the emitted stream is byte-identical at any worker
+// count, because the shard partition and every per-UE seed are fixed
+// before the pool starts and traces are consumed in UE order.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	encode := func(workers int) []byte {
+		cfg := smallCfg(10, 4) // 3 shards, ragged tail
+		cfg.Workers = workers
+		d, _, err := BuildDataset(cfg)
+		if err != nil {
+			t.Fatalf("BuildDataset (workers=%d): %v", workers, err)
+		}
+		b, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("marshal (workers=%d): %v", workers, err)
+		}
+		return b
+	}
+	serial := encode(1)
+	for _, w := range []int{4, 8} {
+		if got := encode(w); !bytes.Equal(got, serial) {
+			t.Fatalf("workers=%d output differs from serial (%d vs %d bytes)", w, len(got), len(serial))
+		}
+	}
+}
+
+// TestContentionDegradesThroughput is the acceptance claim that per-UE
+// throughput measurably degrades under shared-cell load: the same UEs run
+// markedly slower inside one contended shard than each alone on its own
+// grid, and at least one cell must actually have seen multi-UE contention.
+func TestContentionDegradesThroughput(t *testing.T) {
+	cfg := smallCfg(16, 16)
+	_, rep, err := BuildDataset(cfg)
+	if err != nil {
+		t.Fatalf("BuildDataset: %v", err)
+	}
+	if rep.MaxAttached < 2 {
+		t.Fatalf("expected multi-UE cell contention, max attached = %d", rep.MaxAttached)
+	}
+	var solo float64
+	for i := 0; i < cfg.Population; i++ {
+		_, st := sim.Run(cfg.RunConfigFor(i))
+		solo += st.MeanAggMbps
+	}
+	solo /= float64(cfg.Population)
+	if rep.MeanAggMbps >= 0.8*solo {
+		t.Fatalf("contended mean %.1f Mbps not measurably below solo mean %.1f Mbps", rep.MeanAggMbps, solo)
+	}
+}
+
+// TestSeedsStableUnderBaseSeedOverride pins the override semantics: a
+// BaseSeeds prefix must not shift the derived seeds of later UEs.
+func TestSeedsStableUnderBaseSeedOverride(t *testing.T) {
+	cfg := smallCfg(6, 4)
+	plain := cfg.Seeds()
+	cfg.BaseSeeds = []uint64{1, 2}
+	over := cfg.Seeds()
+	if over[0] != 1 || over[1] != 2 {
+		t.Fatalf("override not applied: %v", over[:2])
+	}
+	for i := 2; i < len(plain); i++ {
+		if over[i] != plain[i] {
+			t.Fatalf("derived seed %d shifted under override: %d vs %d", i, over[i], plain[i])
+		}
+	}
+}
+
+// TestRushProfile checks the activity profile's shape and bounds.
+func TestRushProfile(t *testing.T) {
+	if got := (RushProfile{}).ActiveFraction(123); got != 1 {
+		t.Fatalf("zero profile should be flat 1, got %g", got)
+	}
+	p := RushProfile{Base: 0.2, Peak: 0.9, PeakAtS: 100, WidthS: 30}
+	atPeak := p.ActiveFraction(100)
+	if math.Abs(atPeak-0.9) > 1e-12 {
+		t.Fatalf("peak fraction = %g, want 0.9", atPeak)
+	}
+	far := p.ActiveFraction(100 + 10*p.WidthS)
+	if far < 0.2-1e-9 || far > 0.21 {
+		t.Fatalf("far-from-peak fraction = %g, want ~base 0.2", far)
+	}
+	if p.ActiveFraction(100-20) >= atPeak || p.ActiveFraction(100-20) <= far {
+		t.Fatalf("shoulder fraction out of order")
+	}
+	bad := RushProfile{Base: -1, Peak: 2, PeakAtS: 0, WidthS: 1}
+	if f := bad.ActiveFraction(0); f < 0 || f > 1 {
+		t.Fatalf("fraction not clamped: %g", f)
+	}
+}
+
+// TestMeanFieldRaisesLoad checks that an out-of-shard population raises
+// cell load through SetPopLoad and that zero population leaves it alone.
+func TestMeanFieldRaisesLoad(t *testing.T) {
+	cfg := smallCfg(1, 1)
+	net := ran.NewNetwork(cfg.Operator, cfg.Scenario, rng.New(cfg.Seeds()[0]))
+	totRB := 0.0
+	for _, c := range net.Cells {
+		totRB += float64(c.NumRB)
+	}
+	before := make([]float64, len(net.Cells))
+	for i, c := range net.Cells {
+		before[i] = c.Load()
+	}
+	applyMeanField(net, 0, 1, totRB)
+	for i, c := range net.Cells {
+		if c.Load() != before[i] {
+			t.Fatalf("zero outside population changed load of cell %d", i)
+		}
+	}
+	applyMeanField(net, 5000, 1, totRB)
+	raised := 0
+	for i, c := range net.Cells {
+		if c.PopLoad() > 0 && c.Load() >= before[i] {
+			raised++
+		}
+	}
+	if raised == 0 {
+		t.Fatalf("mean field raised no cell loads")
+	}
+}

@@ -1,0 +1,109 @@
+package predictors
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"prism5g/internal/trace"
+)
+
+func TestTrainLoopStreamLearns(t *testing.T) {
+	_, _, train, val, test := problem(t, 21)
+	p := NewLSTMPredictor(16, 10, quickOpts())
+	rep, err := TrainLoopStream(p, trace.NewSliceStream(train), trace.NewSliceStream(val), quickOpts())
+	if err != nil {
+		t.Fatalf("TrainLoopStream: %v", err)
+	}
+	if rep.Epochs == 0 {
+		t.Fatal("no epochs ran")
+	}
+	if math.IsNaN(rep.ValRMSE) || math.IsInf(rep.ValRMSE, 0) {
+		t.Fatalf("val RMSE = %f", rep.ValRMSE)
+	}
+	if rmse, pers := Evaluate(p, test), persistenceRMSE(test); rmse >= pers {
+		t.Fatalf("streamed LSTM RMSE %.4f did not beat persistence %.4f", rmse, pers)
+	}
+}
+
+func TestTrainLoopStreamDeterminism(t *testing.T) {
+	_, _, train, val, test := problem(t, 22)
+	run := func() []float64 {
+		p := NewLSTMPredictor(8, 10, quickOpts())
+		if _, err := TrainLoopStream(p, trace.NewSliceStream(train), trace.NewSliceStream(val), quickOpts()); err != nil {
+			t.Fatalf("TrainLoopStream: %v", err)
+		}
+		return p.Predict(test[0])
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed streamed training diverged")
+		}
+	}
+}
+
+// errStream fails after yielding `ok` chunks, exercising the abort path.
+type errStream struct {
+	inner trace.WindowStream
+	ok    int
+	seen  int
+	err   error
+}
+
+func (s *errStream) Next(max int) ([]trace.Window, error) {
+	if s.seen >= s.ok {
+		return nil, s.err
+	}
+	s.seen++
+	return s.inner.Next(max)
+}
+
+func (s *errStream) Reset() error {
+	s.seen = 0
+	return s.inner.Reset()
+}
+
+func TestTrainLoopStreamPropagatesStreamError(t *testing.T) {
+	_, _, train, val, _ := problem(t, 23)
+	sentinel := errors.New("spill file vanished")
+	p := NewLSTMPredictor(8, 10, quickOpts())
+	es := &errStream{inner: trace.NewSliceStream(train), ok: 2, err: sentinel}
+	_, err := TrainLoopStream(p, es, trace.NewSliceStream(val), quickOpts())
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want stream error, got %v", err)
+	}
+}
+
+// TestTrainLoopStreamConstantBuffer checks that the loop never asks the
+// stream for more than its bounded buffer at once — the contract that
+// keeps training memory independent of the window count.
+func TestTrainLoopStreamConstantBuffer(t *testing.T) {
+	_, _, train, val, _ := problem(t, 24)
+	opts := quickOpts()
+	opts.Epochs = 2
+	opts.Batch = 16
+	maxAsk := 0
+	probe := &probeStream{inner: trace.NewSliceStream(train), maxAsk: &maxAsk}
+	p := NewLSTMPredictor(8, 10, opts)
+	if _, err := TrainLoopStream(p, probe, trace.NewSliceStream(val), opts); err != nil {
+		t.Fatalf("TrainLoopStream: %v", err)
+	}
+	if cap := opts.Batch * shuffleChunks; maxAsk > cap {
+		t.Fatalf("loop requested %d windows at once, buffer cap is %d", maxAsk, cap)
+	}
+}
+
+type probeStream struct {
+	inner  trace.WindowStream
+	maxAsk *int
+}
+
+func (s *probeStream) Next(max int) ([]trace.Window, error) {
+	if max > *s.maxAsk {
+		*s.maxAsk = max
+	}
+	return s.inner.Next(max)
+}
+
+func (s *probeStream) Reset() error { return s.inner.Reset() }

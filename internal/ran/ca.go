@@ -399,6 +399,10 @@ func (e *Engine) evaluate(p mobility.Point, indoor bool) {
 			// Radio link failure: drop everything, reselect below once
 			// re-establishment completes.
 			e.emit(EvRadioLinkFailure, e.pcell.Cell)
+			e.pcell.Cell.Detach()
+			for _, s := range e.scells {
+				s.Cell.Detach()
+			}
 			e.pcell = nil
 			e.scells = nil
 			if e.Cfg.ReestablishDelayS > 0 {
@@ -442,6 +446,7 @@ func (e *Engine) evaluate(p mobility.Point, indoor bool) {
 			Cell: best.cell, Link: e.links[best.cell.PCI], IsPCell: true,
 			ConfiguredAt: e.now, ActiveAt: e.now,
 		}
+		best.cell.Attach()
 		if e.reattaching {
 			e.emit(EvReestablish, best.cell)
 			e.reattaching = false
@@ -458,12 +463,15 @@ func (e *Engine) evaluate(p mobility.Point, indoor bool) {
 func (e *Engine) handoverTo(c *Cell) {
 	for _, s := range e.scells {
 		e.emit(EvSCellRemove, s.Cell)
+		s.Cell.Detach()
 	}
 	e.scells = nil
+	e.pcell.Cell.Detach()
 	e.pcell = &ServingCC{
 		Cell: c, Link: e.links[c.PCI], IsPCell: true,
 		ConfiguredAt: e.now, ActiveAt: e.now,
 	}
+	c.Attach()
 	e.lastHOAt = e.now
 	e.emit(EvPCellSwitch, c)
 }
@@ -483,6 +491,7 @@ func (e *Engine) manageSCells(ms []measurement, p mobility.Point, indoor bool) {
 		}
 		if s.belowSince >= e.Cfg.SCellRemoveTTT {
 			e.emit(EvSCellRemove, s.Cell)
+			s.Cell.Detach()
 			continue
 		}
 		kept = append(kept, s)
@@ -557,6 +566,7 @@ func (e *Engine) manageSCells(ms []measurement, p mobility.Point, indoor bool) {
 			ConfiguredAt: e.now, ActiveAt: e.now + e.Cfg.ActivationDelayS,
 		}
 		e.scells = append(e.scells, s)
+		a.cell.Attach()
 		e.emit(EvSCellAdd, a.cell)
 		e.emit(EvSCellActivate, a.cell)
 		e.lastAddAt = e.now
@@ -579,4 +589,20 @@ func (e *Engine) isFR2(c *Cell) bool {
 // MeasureServing returns the current radio state of a serving CC from p.
 func (e *Engine) MeasureServing(s *ServingCC, p mobility.Point, indoor bool) phy.RadioState {
 	return e.measure(s.Cell, p, indoor)
+}
+
+// Release detaches the engine's serving set from the network's cells.
+// Runs that reuse one Network — sequentially across experiment runs, or
+// concurrently within a population shard — call it when the UE's campaign
+// ends so attach counts never leak into the next run. The engine must not
+// be stepped afterwards.
+func (e *Engine) Release() {
+	if e.pcell != nil {
+		e.pcell.Cell.Detach()
+		e.pcell = nil
+	}
+	for _, s := range e.scells {
+		s.Cell.Detach()
+	}
+	e.scells = nil
 }

@@ -29,6 +29,16 @@ type Cell struct {
 	load *rng.OU
 	// baseLoad is the scenario/time-of-day mean load.
 	baseLoad float64
+	// attached counts the simulated UEs whose CA set currently includes
+	// this cell. The scheduler splits the cell's RB share across them, so
+	// per-UE throughput degrades as co-resident UEs pile on. Single-UE
+	// runs keep it at 0 or 1, where the split is inert and the historical
+	// numbers are bit-identical.
+	attached int
+	// popLoad is the population-driven utilization a city of UEs outside
+	// the simulated shard puts on the cell, added on top of the background
+	// OU process. Zero outside population mode.
+	popLoad float64
 }
 
 // ID returns a human-readable cell identifier.
@@ -56,9 +66,17 @@ func (c *Cell) CoverageRadiusM() float64 {
 	}
 }
 
-// Load returns the cell's current background load in [0, 1].
+// Load returns the cell's current utilization in [0, 1]: the background
+// OU process plus (in population mode) the mean-field load of the
+// out-of-shard population. Higher load both shrinks the RB share the
+// scheduler grants and raises the interference this cell radiates into
+// co-channel neighbours — cell breathing emerges from load rather than a
+// scripted profile.
 func (c *Cell) Load() float64 {
 	l := c.load.Value()
+	if c.popLoad != 0 {
+		l += c.popLoad
+	}
 	if l < 0 {
 		return 0
 	}
@@ -67,6 +85,39 @@ func (c *Cell) Load() float64 {
 	}
 	return l
 }
+
+// Attach registers one UE on the cell's schedule (its CA set now includes
+// the cell); Detach reverses it. The engine calls these as serving-set
+// membership changes, so Attached is live during a step.
+func (c *Cell) Attach() { c.attached++ }
+
+// Detach removes one UE from the cell's schedule.
+func (c *Cell) Detach() {
+	if c.attached > 0 {
+		c.attached--
+	}
+}
+
+// Attached returns the number of UEs currently counting this cell in
+// their CA set (configured, not necessarily activated).
+func (c *Cell) Attached() int { return c.attached }
+
+// SetPopLoad sets the deterministic out-of-shard population load added on
+// top of the cell's background process, clamped to [0, 0.95] so a cell
+// never saturates into a zero-throughput singularity. Population shards
+// refresh it every step from the rush-hour activity profile.
+func (c *Cell) SetPopLoad(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	if v > 0.95 {
+		v = 0.95
+	}
+	c.popLoad = v
+}
+
+// PopLoad returns the current out-of-shard population load.
+func (c *Cell) PopLoad() float64 { return c.popLoad }
 
 // loadTauS is the background-load decorrelation time constant.
 const loadTauS = 40.0

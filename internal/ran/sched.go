@@ -218,6 +218,14 @@ func (s *Scheduler) Observe(e *Engine, p mobility.Point, pat mobility.Mobility, 
 			share *= oh
 		}
 		share = clamp(share, 0.08, 1.0)
+		// Multi-UE contention: the cell's scheduler round-robins its RBs
+		// across every attached UE — an equal split, the long-run
+		// proportional-fair average under symmetric demand. With a single
+		// attached UE (every historical run) this divides by nothing and
+		// the trace is bit-identical.
+		if n := cell.Attached(); n > 1 {
+			share /= float64(n)
+		}
 		rb := share * float64(cell.NumRB)
 
 		active := sc.Active(e.Now())

@@ -107,150 +107,17 @@ const eventHold = 0.3
 func Run(cfg RunConfig) (trace.Trace, RunStats) {
 	sp := obs.StartSpan("sim.trace_build")
 	cfg.defaults()
-	src := rng.New(cfg.Seed)
-	net := cfg.Net
-	if net == nil {
-		net = ran.NewNetwork(cfg.Operator, cfg.Scenario, src)
-	}
-	ue := ran.NewUE(cfg.Modem)
-	rcfg := ran.DefaultConfig(cfg.Tech)
-	rcfg.ReestablishDelayS = cfg.ReestablishDelayS
-	eng := ran.NewEngine(net, ue, rcfg, src)
-	if len(cfg.BandLock) > 0 {
-		eng.LockBands(cfg.BandLock...)
-	}
-	if len(cfg.ChannelLock) > 0 {
-		eng.LockChannels(cfg.ChannelLock...)
-	}
-	sched := ran.NewScheduler(src)
-
-	start := mobility.Point{X: cfg.Scenario.ExtentM() * 0.5, Y: cfg.Scenario.ExtentM() * 0.5}
-	if cfg.Scenario == mobility.Beltway {
-		start = mobility.Point{X: 200, Y: 0}
-	}
-	if cfg.Start != nil {
-		start = *cfg.Start
-	}
-	mv := mobility.NewMover(cfg.Scenario, cfg.Mobility, start, src)
-
-	tr := trace.Trace{
-		Meta: trace.Meta{
-			Operator: string(cfg.Operator),
-			Scenario: cfg.Scenario.String(),
-			Mobility: cfg.Mobility.String(),
-			Modem:    cfg.Modem.String(),
-			Route:    cfg.Route,
-			Run:      cfg.Run,
-		},
-		StepS: cfg.StepS,
-	}
-	stats := RunStats{Census: spectrum.NewComboCensus()}
-
-	slots := newSlotTable()
-	// eventUntil[pci] = (sign, deadline): the event channel value to show.
-	type evMark struct {
-		sign  float64
-		until float64
-	}
-	eventMarks := map[int]evMark{}
-
-	indoor := cfg.Scenario.IsIndoor()
+	r := NewRunner(cfg)
 	// Warm up: let the UE attach and build its CA set before recording.
-	const warmStep = 0.2
-	for t := 0.0; t < cfg.WarmupS; t += warmStep {
-		moved := mv.Step(warmStep)
-		stats.DistanceM += moved
-		net.StepLoads(cfg.TODMultiplier, warmStep)
-		eng.Step(mv.Pos(), moved, warmStep, indoor)
+	for t := 0.0; t < cfg.WarmupS; t += WarmupStepS {
+		r.WarmStep(WarmupStepS)
 	}
-	t0 := eng.Now()
-
-	steps := int(cfg.DurationS / cfg.StepS)
-	var aggSum float64
-	prevCCs := -1
-	for i := 0; i < steps; i++ {
-		moved := mv.Step(cfg.StepS)
-		stats.DistanceM += moved
-		net.StepLoads(cfg.TODMultiplier, cfg.StepS)
-		events := eng.Step(mv.Pos(), moved, cfg.StepS, indoor)
-		snap := sched.Observe(eng, mv.Pos(), cfg.Mobility, indoor, events, cfg.StepS)
-
-		for _, ev := range events {
-			stats.Events = append(stats.Events, ev)
-			if ev.Cell == nil {
-				continue
-			}
-			switch ev.Type {
-			case ran.EvSCellAdd, ran.EvSCellActivate, ran.EvPCellSwitch:
-				eventMarks[ev.Cell.PCI] = evMark{sign: 1, until: snap.At + eventHold}
-			case ran.EvSCellRemove, ran.EvRadioLinkFailure:
-				eventMarks[ev.Cell.PCI] = evMark{sign: -1, until: snap.At + eventHold}
-			}
-		}
-
-		var s trace.Sample
-		s.T = snap.At - t0
-		s.AggTput = snap.AggregateMbps
-		s.NumActiveCCs = snap.NumActiveCCs
-		slots.sync(snap.CCs)
-		for _, cc := range snap.CCs {
-			slot, ok := slots.slotOf(cc.PCI)
-			if !ok {
-				continue // beyond MaxCC slots: contributes to aggregate only
-			}
-			dst := &s.CCs[slot]
-			dst.Present = true
-			dst.BandName = cc.Chan.Band.Name
-			dst.ChannelID = cc.Chan.ID()
-			dst.IsPCell = cc.IsPCell
-			if cc.Active {
-				dst.Vec[trace.FActive] = 1
-			}
-			if m, ok := eventMarks[cc.PCI]; ok && snap.At <= m.until {
-				dst.Vec[trace.FEvent] = m.sign
-			}
-			dst.Vec[trace.FBWMHz] = cc.Chan.BandwidthMHz
-			dst.Vec[trace.FFreqGHz] = cc.Chan.CenterMHz / 1000
-			dst.Vec[trace.FRSRP] = cc.RSRPdBm
-			dst.Vec[trace.FRSRQ] = cc.RSRQdB
-			dst.Vec[trace.FSINR] = cc.SINRdB
-			dst.Vec[trace.FCQI] = float64(cc.CQI)
-			dst.Vec[trace.FBLER] = cc.BLER
-			dst.Vec[trace.FRB] = cc.RB
-			dst.Vec[trace.FLayers] = float64(cc.Layers)
-			dst.Vec[trace.FMCS] = float64(cc.MCS)
-			dst.Vec[trace.FTput] = cc.TputMbps
-		}
-		tr.Samples = append(tr.Samples, s)
-
-		aggSum += snap.AggregateMbps
-		if snap.AggregateMbps > stats.PeakAggMbps {
-			stats.PeakAggMbps = snap.AggregateMbps
-		}
-		if snap.NumActiveCCs > stats.MaxActiveCCs {
-			stats.MaxActiveCCs = snap.NumActiveCCs
-		}
-		if prevCCs >= 0 && snap.NumActiveCCs != prevCCs {
-			stats.CCChangeCount++
-		}
-		prevCCs = snap.NumActiveCCs
-		if combo := eng.Combo(); len(combo) > 0 {
-			stats.Census.Observe(combo)
-		}
+	r.BeginRecording()
+	for i, n := 0, r.Steps(); i < n; i++ {
+		r.RecordStep()
 	}
-	if steps > 0 {
-		stats.MeanAggMbps = aggSum / float64(steps)
-	}
-	// Degrade the clean trace per the fault plan (no-op when nil). The
-	// injector derives all randomness from the run seed, so a campaign is
-	// reproducible clean or degraded from the same seed.
-	stats.Faults = cfg.Faults.Apply(&tr, cfg.Seed^faultSeedSalt)
-	if r := obs.Default(); r.Enabled() {
-		r.Add("sim.traces_built", 1)
-		r.Add("sim.samples_generated", int64(len(tr.Samples)))
-		r.Add("sim.rrc_events", int64(len(stats.Events)))
-		r.Add("sim.cc_changes", int64(stats.CCChangeCount))
-		r.Add("sim.faults_injected", int64(stats.Faults.Total()))
+	tr, stats := r.Finish()
+	if reg := obs.Default(); reg.Enabled() {
 		sp.EndWith(map[string]any{
 			"operator": string(cfg.Operator), "scenario": cfg.Scenario.String(),
 			"samples": len(tr.Samples), "events": len(stats.Events),
@@ -442,15 +309,37 @@ func Build(spec SubDatasetSpec, opts BuildOpts) *trace.Dataset {
 // results are assembled in index order — the dataset is byte-identical to
 // the serial build at any worker count.
 func BuildReport(spec SubDatasetSpec, opts BuildOpts) (*trace.Dataset, faults.Report) {
-	sp := obs.StartSpan("sim.build")
-	var report faults.Report
+	d := &trace.Dataset{Name: spec.Name(), StepS: spec.Gran.StepS()}
+	report, err := BuildStream(spec, opts, trace.NewDatasetSink(d))
+	if err != nil {
+		// The materializing sink cannot fail; any error here is a produce
+		// panic already rethrown by BuildStream.
+		panic(err)
+	}
+	return d, report
+}
+
+// buildDefaults normalizes BuildOpts like BuildReport historically did:
+// zero Traces selects the Table 11 defaults while keeping the caller's
+// seed, fault plan and worker count.
+func buildDefaults(opts BuildOpts) BuildOpts {
 	if opts.Traces == 0 {
 		plan, workers := opts.Faults, opts.Workers
 		opts = DefaultBuildOpts(opts.Seed)
 		opts.Faults = plan
 		opts.Workers = workers
 	}
-	d := &trace.Dataset{Name: spec.Name(), StepS: spec.Gran.StepS()}
+	return opts
+}
+
+// BuildConfigs returns the per-trace run configurations of a sub-dataset
+// build, seeds included, in trace order. This is the sub-dataset's
+// determinism contract made explicit: trace i of Build(spec, opts) is
+// Run(BuildConfigs(spec, opts)[i]) (cut around its first CA transition at
+// the short granularity). The population and conformance layers use it to
+// replicate individual build traces.
+func BuildConfigs(spec SubDatasetSpec, opts BuildOpts) []RunConfig {
+	opts = buildDefaults(opts)
 	seedSrc := rng.New(opts.Seed ^ uint64(len(spec.Name()))*0x9e37)
 	cfgs := make([]RunConfig, opts.Traces)
 	for i := 0; i < opts.Traces; i++ {
@@ -488,26 +377,56 @@ func BuildReport(spec SubDatasetSpec, opts BuildOpts) (*trace.Dataset, faults.Re
 			Faults:    opts.Faults,
 		}
 	}
-	type built struct {
-		tr    trace.Trace
-		stats RunStats
-	}
-	results := par.MustMap(context.Background(), opts.Traces, opts.Workers, func(i int) built {
-		tr, stats := Run(cfgs[i])
-		if spec.Gran == Short {
-			tr = CutAroundTransition(tr, opts.SamplesPerTrace)
-		}
-		return built{tr: tr, stats: stats}
-	})
-	for _, r := range results {
-		report.Add(r.stats.Faults)
-		d.Traces = append(d.Traces, r.tr)
+	return cfgs
+}
+
+// BuildStream generates the sub-dataset, emitting each completed trace to
+// the sink in trace order instead of materializing a Dataset. Traces are
+// produced on the bounded worker pool with a bounded reorder window, so
+// peak memory is a function of the worker count, not the trace count —
+// this is what lets a population-scale campaign spill to disk as it runs.
+//
+// The determinism contract matches BuildReport: per-trace seeds are drawn
+// serially in index order before any worker starts, and the sink sees
+// traces in index order — the emitted stream is byte-identical at every
+// worker count. The sink is not closed; the caller owns its lifecycle.
+// The first sink error stops the build and is returned; a panicking run
+// is rethrown as *par.PanicError.
+func BuildStream(spec SubDatasetSpec, opts BuildOpts, sink trace.Sink) (faults.Report, error) {
+	sp := obs.StartSpan("sim.build")
+	opts = buildDefaults(opts)
+	cfgs := BuildConfigs(spec, opts)
+	var report faults.Report
+	emitted := 0
+	err := par.OrderedStream(context.Background(), opts.Traces, opts.Workers,
+		func(i int) (built, error) {
+			tr, stats := Run(cfgs[i])
+			if spec.Gran == Short {
+				tr = CutAroundTransition(tr, opts.SamplesPerTrace)
+			}
+			return built{tr: tr, stats: stats}, nil
+		},
+		func(i int, b built) error {
+			report.Add(b.stats.Faults)
+			emitted++
+			return sink.Emit(b.tr)
+		})
+	if pe, ok := err.(*par.PanicError); ok {
+		// Preserve the crash semantics of the serial loop (and of the
+		// historical MustMap-based build).
+		panic(pe.Value)
 	}
 	obs.Add("sim.datasets_built", 1)
 	sp.EndWith(map[string]any{
-		"dataset": d.Name, "traces": len(d.Traces), "faults": report.Total(),
+		"dataset": spec.Name(), "traces": emitted, "faults": report.Total(),
 	})
-	return d, report
+	return report, err
+}
+
+// built pairs one generated trace with its run statistics.
+type built struct {
+	tr    trace.Trace
+	stats RunStats
 }
 
 // CutAroundTransition returns the n-sample segment of tr containing the

@@ -195,44 +195,65 @@ type Scaler struct {
 
 // Fit computes scaling ranges from the samples of the given traces.
 func (sc *Scaler) Fit(traces []Trace) {
+	sc.BeginFit()
+	for _, tr := range traces {
+		sc.ObserveTrace(&tr)
+	}
+	sc.FinishFit()
+}
+
+// BeginFit starts an incremental fit: ObserveTrace folds traces into the
+// running ranges one at a time, FinishFit applies the degenerate guards
+// and marks the scaler fitted. BeginFit/ObserveTrace*/FinishFit over a
+// trace stream produces exactly the ranges Fit computes on the
+// materialized slice — that is how population-scale datasets fit their
+// scaler in one constant-memory pass.
+func (sc *Scaler) BeginFit() {
 	for i := range sc.FeatMin {
 		sc.FeatMin[i] = math.Inf(1)
 		sc.FeatMax[i] = math.Inf(-1)
 	}
 	sc.TputMin, sc.TputMax = math.Inf(1), math.Inf(-1)
-	for _, tr := range traces {
-		for _, s := range tr.Samples {
-			// Non-finite samples (corrupted sensor reads) must not poison
-			// the ranges: an Inf min/max would scale every feature to
-			// 0 or NaN.
-			if finite(s.AggTput) {
-				if s.AggTput < sc.TputMin {
-					sc.TputMin = s.AggTput
-				}
-				if s.AggTput > sc.TputMax {
-					sc.TputMax = s.AggTput
-				}
+	sc.fitted = false
+}
+
+// ObserveTrace folds one trace's samples into the running fit ranges.
+func (sc *Scaler) ObserveTrace(tr *Trace) {
+	for _, s := range tr.Samples {
+		// Non-finite samples (corrupted sensor reads) must not poison
+		// the ranges: an Inf min/max would scale every feature to
+		// 0 or NaN.
+		if finite(s.AggTput) {
+			if s.AggTput < sc.TputMin {
+				sc.TputMin = s.AggTput
 			}
-			for _, cc := range s.CCs {
-				if !cc.Present {
+			if s.AggTput > sc.TputMax {
+				sc.TputMax = s.AggTput
+			}
+		}
+		for _, cc := range s.CCs {
+			if !cc.Present {
+				continue
+			}
+			for f := 0; f < NumCCFeatures; f++ {
+				v := cc.Vec[f]
+				if !finite(v) {
 					continue
 				}
-				for f := 0; f < NumCCFeatures; f++ {
-					v := cc.Vec[f]
-					if !finite(v) {
-						continue
-					}
-					if v < sc.FeatMin[f] {
-						sc.FeatMin[f] = v
-					}
-					if v > sc.FeatMax[f] {
-						sc.FeatMax[f] = v
-					}
+				if v < sc.FeatMin[f] {
+					sc.FeatMin[f] = v
+				}
+				if v > sc.FeatMax[f] {
+					sc.FeatMax[f] = v
 				}
 			}
 		}
 	}
-	// Degenerate guards.
+}
+
+// FinishFit applies the degenerate-range guards and marks the scaler
+// fitted.
+func (sc *Scaler) FinishFit() {
 	if math.IsInf(sc.TputMin, 1) {
 		sc.TputMin, sc.TputMax = 0, 1
 	}

@@ -1,26 +1,33 @@
 #!/bin/sh
-# allocgate.sh [baseline.json] [threshold_pct]
+# allocgate.sh [baseline.json] [threshold_pct] [pop_baseline.json]
 #
-# Allocation-regression gate for the two hot-path benchmarks the
-# allocation diet targets:
+# Allocation-regression gate for the hot-path benchmarks the allocation
+# diet targets:
 #
 #   BenchmarkTrainLoop                (internal/predictors)
 #   BenchmarkParallelTable4/workers=1 (repo root)
+#   BenchmarkPopulationBuild/pop=64   (internal/pop, vs BENCH_pop.json)
 #
-# Re-runs both with -benchmem and compares allocs_per_op against the
-# checked-in baseline (BENCH_obs.json by default). Fails — exit 1 — if
-# either regresses by more than threshold_pct (default 20%). Allocation
-# counts are deterministic enough that a single -benchtime=1x shot is a
-# stable signal, so the gate stays cheap for CI; wall-clock and bytes are
-# reported but never gated (too noisy on shared runners).
+# Re-runs them with -benchmem and compares allocs_per_op against the
+# checked-in baselines (BENCH_obs.json and BENCH_pop.json by default).
+# Fails — exit 1 — if any regresses by more than threshold_pct (default
+# 20%). Allocation counts are deterministic enough that a single
+# -benchtime=1x shot is a stable signal, so the gate stays cheap for CI;
+# wall-clock and bytes are reported but never gated (too noisy on shared
+# runners).
 set -eu
 
 baseline=${1:-BENCH_obs.json}
 threshold=${2:-20}
+popbaseline=${3:-BENCH_pop.json}
 GO=${GO:-go}
 
 if [ ! -f "$baseline" ]; then
     echo "allocgate: baseline $baseline not found" >&2
+    exit 1
+fi
+if [ ! -f "$popbaseline" ]; then
+    echo "allocgate: baseline $popbaseline not found" >&2
     exit 1
 fi
 
@@ -31,6 +38,8 @@ $GO test -run '^$' -benchtime=1x -benchmem \
     -bench 'BenchmarkParallelTable4/workers=1$' . >"$tmp"
 $GO test -run '^$' -benchtime=1x -benchmem \
     -bench 'BenchmarkTrainLoop$' ./internal/predictors/ >>"$tmp"
+$GO test -run '^$' -benchtime=1x -benchmem \
+    -bench 'BenchmarkPopulationBuild/pop=64$' ./internal/pop/ >>"$tmp"
 
 cat "$tmp" >&2
 
@@ -45,8 +54,8 @@ current() {
         }' "$tmp"
 }
 
-# base <name> -> allocs_per_op from the baseline JSON (one object per
-# line, as benchjson.sh writes it).
+# base <name> <file> -> allocs_per_op from a baseline JSON (one object
+# per line, as benchjson.sh writes it).
 base() {
     awk -v want="$1" '
         index($0, "\"name\": \"" want "\"") {
@@ -54,20 +63,23 @@ base() {
                 print substr($0, RSTART + 17, RLENGTH - 17)
                 exit
             }
-        }' "$baseline"
+        }' "$2"
 }
 
 fail=0
-for name in "BenchmarkTrainLoop" "BenchmarkParallelTable4/workers=1"; do
+for name in "BenchmarkTrainLoop" "BenchmarkParallelTable4/workers=1" "BenchmarkPopulationBuild/pop=64"; do
     cur=$(current "$name")
-    ref=$(base "$name")
+    case "$name" in
+    BenchmarkPopulationBuild*) ref=$(base "$name" "$popbaseline") ;;
+    *) ref=$(base "$name" "$baseline") ;;
+    esac
     if [ -z "$cur" ]; then
         echo "allocgate: FAIL $name: no result in fresh bench run" >&2
         fail=1
         continue
     fi
     if [ -z "$ref" ]; then
-        echo "allocgate: FAIL $name: no allocs_per_op in $baseline" >&2
+        echo "allocgate: FAIL $name: no allocs_per_op in baseline JSON" >&2
         fail=1
         continue
     fi
@@ -81,7 +93,7 @@ for name in "BenchmarkTrainLoop" "BenchmarkParallelTable4/workers=1"; do
 done
 
 if [ "$fail" -ne 0 ]; then
-    echo "allocgate: allocation regression detected; if intentional, regenerate $baseline with scripts/benchjson.sh and justify in the PR" >&2
+    echo "allocgate: allocation regression detected; if intentional, regenerate the baseline (scripts/benchjson.sh, SET=pop for $popbaseline) and justify in the PR" >&2
     exit 1
 fi
 echo "allocgate: all hot paths within ${threshold}% of baseline" >&2

@@ -27,11 +27,17 @@
 #
 #   {"host": {"go_max_procs": 1, ...}, "benchmarks": [...]}
 #
-# Default output is BENCH_obs.json in the repository root. The raw bench
+# The SET environment variable selects the benchmark set: "obs" (default)
+# runs the headline set above; "pop" runs BenchmarkPopulationBuild
+# (internal/pop) and defaults the output to BENCH_pop.json, carrying the
+# population metrics (ues/s, allocs/ue) into the JSON.
+#
+# Default output is BENCH_<set>.json in the repository root. The raw bench
 # text is echoed to stderr so interactive runs stay readable.
 set -eu
 
-out=${1:-BENCH_obs.json}
+SET=${SET:-obs}
+out=${1:-BENCH_${SET}.json}
 GO=${GO:-go}
 BENCHTIME=${BENCHTIME:-1s}
 COUNT=${COUNT:-3}
@@ -45,12 +51,24 @@ cpumodel=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-$GO test -run '^$' -benchtime="$BENCHTIME" -count="$COUNT" -benchmem \
-    -bench 'BenchmarkParallelBuild|BenchmarkParallelTable4' . >"$tmp"
-$GO test -run '^$' -benchtime="$BENCHTIME" -count="$COUNT" -benchmem \
-    -bench 'BenchmarkTrainLoop' ./internal/predictors/ >>"$tmp"
-$GO test -run '^$' -benchtime="$BENCHTIME" -count="$COUNT" -benchmem \
-    -bench 'BenchmarkRepair|BenchmarkWindows|BenchmarkMakeWindow' ./internal/trace/ >>"$tmp"
+case "$SET" in
+pop)
+    $GO test -run '^$' -benchtime="$BENCHTIME" -count="$COUNT" -benchmem \
+        -bench 'BenchmarkPopulationBuild' ./internal/pop/ >"$tmp"
+    ;;
+obs)
+    $GO test -run '^$' -benchtime="$BENCHTIME" -count="$COUNT" -benchmem \
+        -bench 'BenchmarkParallelBuild|BenchmarkParallelTable4' . >"$tmp"
+    $GO test -run '^$' -benchtime="$BENCHTIME" -count="$COUNT" -benchmem \
+        -bench 'BenchmarkTrainLoop' ./internal/predictors/ >>"$tmp"
+    $GO test -run '^$' -benchtime="$BENCHTIME" -count="$COUNT" -benchmem \
+        -bench 'BenchmarkRepair|BenchmarkWindows|BenchmarkMakeWindow' ./internal/trace/ >>"$tmp"
+    ;;
+*)
+    echo "benchjson: unknown SET=$SET (obs, pop)" >&2
+    exit 1
+    ;;
+esac
 
 cat "$tmp" >&2
 
@@ -74,6 +92,8 @@ $1 ~ /^Benchmark/ && $NF == "allocs/op" {
         if (unit == "allocs/op") allocs[name] += $i
         if (unit == "windows/s") wps[name]    += $i
         if (unit == "traces/s")  tps[name]    += $i
+        if (unit == "ues/s")     ups[name]    += $i
+        if (unit == "allocs/ue") apu[name]    += $i
     }
 }
 BEGIN {
@@ -91,6 +111,8 @@ END {
             name, iters[name], r, ns[name] / r, bytes[name] / r, allocs[name] / r
         if (name in wps) printf ", \"windows_per_s\": %.0f", wps[name] / r
         if (name in tps) printf ", \"traces_per_s\": %.0f", tps[name] / r
+        if (name in ups) printf ", \"ues_per_s\": %.0f", ups[name] / r
+        if (name in apu) printf ", \"allocs_per_ue\": %.0f", apu[name] / r
         printf "}"
     }
     printf "\n  ]\n}\n"
