@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race fuzz-smoke bench bench-json alloc-gate obs-smoke serve-smoke pop-smoke conform golden cover check
+.PHONY: build vet test test-race fuzz-smoke bench bench-json alloc-gate obs-smoke serve-smoke pop-smoke grid-smoke conform golden cover check
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,7 @@ test-race:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzReadJSON -fuzztime=20s ./internal/trace/
 	$(GO) test -run=^$$ -fuzz=FuzzReadCSV -fuzztime=20s ./internal/trace/
+	$(GO) test -run=^$$ -fuzz=FuzzGridConfig -fuzztime=20s ./internal/grid/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -51,6 +52,12 @@ serve-smoke:
 # -population streaming pipeline must run end to end.
 pop-smoke:
 	./scripts/popsmoke.sh
+
+# Scenario-grid smoke: a tiny 2x2 grid runs, is interrupted with the
+# deterministic abort hook, resumes, and the merged output must be
+# byte-identical to an uninterrupted run (and to a -workers 4 run).
+grid-smoke:
+	./scripts/gridsmoke.sh
 
 # Paper-conformance suite: goldens + statistical invariants + metamorphic
 # laws. Exits nonzero on any violation.

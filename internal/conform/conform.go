@@ -187,7 +187,8 @@ func memoized[T any](c *Ctx, key string, produce func() T) T {
 func Checks() []Check {
 	cs := append(invariantChecks(), metamorphicChecks()...)
 	cs = append(cs, servingChecks()...)
-	return append(cs, populationChecks()...)
+	cs = append(cs, populationChecks()...)
+	return append(cs, gridChecks()...)
 }
 
 // RunAll executes the full conformance suite: golden comparison (when the

@@ -1,0 +1,149 @@
+package conform
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+
+	"prism5g/internal/grid"
+	"prism5g/internal/mobility"
+	"prism5g/internal/sim"
+	"prism5g/internal/spectrum"
+)
+
+// gridChecks returns the scenario-grid conformance laws.
+func gridChecks() []Check {
+	return []Check{
+		{Name: "grid-equivalence", Figs: "Table 4 / scenario grids",
+			Run: checkGridEquivalence},
+	}
+}
+
+// gridConfig is the declarative twin of the Table4 artifact: the same
+// sub-dataset, models, seed and ML sizing as tinyMLConfig, expressed as a
+// grid config.
+func (c *Ctx) gridConfig() *grid.Config {
+	tiny := c.tinyMLConfig()
+	return &grid.Config{
+		Name: "conform-table4",
+		Seed: c.Cfg.Seed,
+		ML: grid.MLParams{
+			Traces: tiny.Traces, SamplesPerTrace: tiny.SamplesPerTrace,
+			Stride: tiny.Stride, Hidden: tiny.Hidden,
+			Epochs: tiny.Epochs, Patience: tiny.Patience,
+		},
+		Axes: grid.Axes{
+			Operators:     []string{string(spectrum.OpZ)},
+			Mobilities:    []string{mobility.Walking.String()},
+			Granularities: []string{sim.Long.String()},
+			Predictors:    tiny.Models,
+			Apps:          []string{grid.AppPredict},
+		},
+	}
+}
+
+// checkGridEquivalence: a grid config declaring the Table 4 protocol emits
+// bit-identical RMSE numbers to experiments.Table4Cell called directly, and
+// the full grid output tree — cell files, manifest, summaries — is
+// byte-identical at workers 1, 4 and 8. This pins the scenario engine as a
+// faithful re-expression of the hard-coded experiments, not a parallel
+// implementation that can drift.
+func checkGridEquivalence(c *Ctx) []Violation {
+	const name = "grid-equivalence"
+	var out []Violation
+
+	direct := c.Table4()
+	want := map[string]float64{}
+	for _, cell := range direct {
+		want[cell.Dataset+"/"+cell.Model] = cell.RMSE
+	}
+
+	var refTree map[string][]byte
+	for _, workers := range []int{1, 4, 8} {
+		dir, err := os.MkdirTemp("", "conform-grid")
+		if err != nil {
+			return append(out, violate(name, "", "cannot create grid run dir", err, "tmp dir"))
+		}
+		defer os.RemoveAll(dir)
+		rep, err := grid.Run(context.Background(), c.gridConfig(), dir, grid.RunOpts{Workers: workers})
+		if err != nil {
+			out = append(out, violate(name, "", "grid run failed", err, "clean run"))
+			continue
+		}
+		if len(rep.Outcomes) != len(direct) {
+			out = append(out, violate(name, "", "grid cell count differs from Table4Cell",
+				len(rep.Outcomes), len(direct)))
+			continue
+		}
+		for _, oc := range rep.Outcomes {
+			if oc.Predict == nil {
+				out = append(out, violate(name, oc.Cell.Key(), "grid cell missing predict result", "nil", "PredictCellResult"))
+				continue
+			}
+			key := oc.Predict.Dataset + "/" + oc.Predict.Model
+			w, ok := want[key]
+			if !ok {
+				out = append(out, violate(name, key, "grid produced a cell Table4Cell does not have", key, "known cell"))
+				continue
+			}
+			if math.Float64bits(oc.Predict.RMSE) != math.Float64bits(w) {
+				out = append(out, violate(name, key+".rmse (workers="+itoa(workers)+")",
+					"grid RMSE must be bit-identical to Table4Cell", oc.Predict.RMSE, w))
+			}
+		}
+		tree, err := readRunTree(dir)
+		if err != nil {
+			out = append(out, violate(name, "", "cannot read grid run tree", err, "readable tree"))
+			continue
+		}
+		if refTree == nil {
+			refTree = tree
+			continue
+		}
+		if len(tree) != len(refTree) {
+			out = append(out, violate(name, "workers="+itoa(workers),
+				"grid output file count varies with worker count", len(tree), len(refTree)))
+		}
+		for file, ref := range refTree {
+			got, ok := tree[file]
+			if !ok {
+				out = append(out, violate(name, file, "grid output file missing at workers="+itoa(workers), "absent", "present"))
+				continue
+			}
+			if string(got) != string(ref) {
+				out = append(out, violate(name, file,
+					"grid output must be byte-identical at any worker count",
+					"workers="+itoa(workers)+" bytes", "workers=1 bytes"))
+			}
+		}
+	}
+	return out
+}
+
+// readRunTree loads every file of a grid run directory keyed by relative
+// path.
+func readRunTree(dir string) (map[string][]byte, error) {
+	out := map[string][]byte{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(dir, path)
+		out[rel] = b
+		return nil
+	})
+	return out, err
+}
+
+// itoa avoids importing strconv for two digits.
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return string(rune('0'+n/10)) + string(rune('0'+n%10))
+}

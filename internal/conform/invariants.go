@@ -399,9 +399,9 @@ func checkHarmonicMeanBound(c *Ctx) []Violation {
 	histories := [][]float64{
 		{120, 80, 200, 150, 60, 90, 110, 140, 70, 100},
 		{5, 5, 5, 5, 5},
-		{0, 0, 0, 300},          // RLF outage: the floor must drag HM toward 0
-		{math.NaN(), 100, 50},   // corrupted sensor reads are dropped
-		{1e-9, 400, 400, 400},   // sub-floor value clamps up
+		{0, 0, 0, 300},        // RLF outage: the floor must drag HM toward 0
+		{math.NaN(), 100, 50}, // corrupted sensor reads are dropped
+		{1e-9, 400, 400, 400}, // sub-floor value clamps up
 	}
 	fig7 := c.Fig7()
 	if agg := fig7.Trace.AggSeries(); len(agg) >= 50 {

@@ -14,7 +14,6 @@ import (
 	"prism5g/internal/par"
 	"prism5g/internal/predictors"
 	"prism5g/internal/ran"
-	"prism5g/internal/rng"
 	"prism5g/internal/sim"
 	"prism5g/internal/trace"
 )
@@ -86,11 +85,7 @@ func BuildProblem(spec sim.SubDatasetSpec, cfg MLConfig) *Problem {
 		Traces: cfg.Traces, SamplesPerTrace: cfg.SamplesPerTrace,
 		Seed: cfg.Seed, Modem: ran.ModemX70, Workers: cfg.Workers,
 	})
-	sc := &trace.Scaler{}
-	sc.Fit(ds.Traces)
-	ws := trace.Windows(ds, sc, trace.WindowOpts{History: 10, Horizon: 10, Stride: cfg.Stride})
-	train, val, test := trace.Split(ws, 0.5, 0.2, rng.New(cfg.Seed^0x5b1d))
-	return &Problem{Spec: spec, Dataset: ds, Scaler: sc, Windows: ws, Train: train, Val: val, Test: test}
+	return prepareProblem(spec, ds, cfg)
 }
 
 // KnownModels lists every Table 4 column name buildModel accepts.

@@ -1,0 +1,44 @@
+package grid
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExampleConfigsParse locks the committed example grids: every config
+// under examples/grids must parse, validate and expand into a non-empty
+// cell list with unique keys.
+func TestExampleConfigsParse(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "grids", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("found %d example grid configs, want >= 3", len(paths))
+	}
+	for _, p := range paths {
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := Parse(data)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			cells := Expand(cfg)
+			if len(cells) == 0 {
+				t.Fatal("config expands to zero cells")
+			}
+			keys := map[string]bool{}
+			for _, c := range cells {
+				if keys[c.Key()] {
+					t.Fatalf("duplicate cell key %s", c.Key())
+				}
+				keys[c.Key()] = true
+			}
+			t.Logf("%s: %d cells", cfg.Name, len(cells))
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package grid
+
+import (
+	"fmt"
+	"strconv"
+
+	"prism5g/internal/rng"
+)
+
+// gridSeedSalt separates the repeat-seed stream from every other rng domain
+// in the repo.
+const gridSeedSalt = 0x6712d5ee
+
+// Cell is one point of the expanded grid: every axis value plus the
+// pre-drawn seed. Cells are fully determined by the config — expansion is
+// serial and seed drawing happens before any worker starts, so the cell
+// list is identical at any worker count.
+type Cell struct {
+	Index     int      `json:"index"`
+	Operator  string   `json:"operator"`
+	Mobility  string   `json:"mobility"`
+	Gran      string   `json:"granularity"`
+	Bands     []string `json:"bands,omitempty"`
+	Severity  float64  `json:"severity"`
+	Predictor string   `json:"predictor"`
+	App       string   `json:"app"`
+	Direction string   `json:"direction"`
+	// Repeat indexes the seed axis; Seed is the pre-drawn value (repeat 0
+	// is the config's base seed, so a one-repeat grid reproduces the
+	// hard-coded experiments bit-exactly).
+	Repeat int    `json:"repeat"`
+	Seed   uint64 `json:"seed"`
+}
+
+// Key names the cell uniquely and filesystem-safely; it is the cell's file
+// stem and its identity in the manifest.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s.r%d", c.GroupKey(), c.Repeat)
+}
+
+// GroupKey names the cell's summary group: every axis except the seed, so
+// repeats of one scenario aggregate into one summary row. Severity renders
+// with strconv's shortest exact form, so distinct severities can never
+// collide on one key.
+func (c Cell) GroupKey() string {
+	return fmt.Sprintf("%s.%s.%s.%s.sev%s.%s.%s.%s",
+		c.Operator, c.Mobility, c.Gran, bandKey(c.Bands),
+		strconv.FormatFloat(c.Severity, 'g', -1, 64),
+		c.Predictor, c.App, c.Direction)
+}
+
+// seedAxis returns the grid's seed values in repeat order: the explicit
+// Seeds list when given, else the base seed followed by Repeats-1 values
+// drawn from its root stream. Drawing happens here, serially, before any
+// cell runs — the grid analogue of the dataset builder's pre-drawn trace
+// seeds.
+func seedAxis(cfg *Config) []uint64 {
+	if len(cfg.Seeds) > 0 {
+		return cfg.Seeds
+	}
+	seeds := make([]uint64, cfg.Repeats)
+	src := rng.New(cfg.Seed ^ gridSeedSalt)
+	for r := range seeds {
+		if r == 0 {
+			seeds[r] = cfg.Seed
+			continue
+		}
+		seeds[r] = src.Uint64()
+	}
+	return seeds
+}
+
+// Expand materializes the cross-product in canonical order: operator,
+// mobility, granularity, band combo, severity, predictor, app, direction,
+// repeat — the innermost axis varies fastest. The config must be validated.
+func Expand(cfg *Config) []Cell {
+	seeds := seedAxis(cfg)
+	var cells []Cell
+	for _, op := range cfg.Axes.Operators {
+		for _, mob := range cfg.Axes.Mobilities {
+			for _, gran := range cfg.Axes.Granularities {
+				for _, bands := range cfg.Axes.Bands {
+					for _, sev := range cfg.Axes.Severities {
+						for _, pred := range cfg.Axes.Predictors {
+							for _, app := range cfg.Axes.Apps {
+								for _, dir := range cfg.Axes.Directions {
+									for r, seed := range seeds {
+										cells = append(cells, Cell{
+											Index:    len(cells),
+											Operator: op, Mobility: mob, Gran: gran,
+											Bands: bands, Severity: sev,
+											Predictor: pred, App: app, Direction: dir,
+											Repeat: r, Seed: seed,
+										})
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}

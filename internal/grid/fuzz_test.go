@@ -1,0 +1,54 @@
+package grid
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzGridConfig pins the parser's total-safety contract: whatever the
+// bytes, Parse either returns a validated config or a typed error
+// (*ParseError / *ValidationError) — never a panic, never an untyped error.
+// Accepted configs must also expand without panicking into a non-empty,
+// uniquely-keyed cell list.
+func FuzzGridConfig(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name": "t", "seed": 3, "repeats": 2}`))
+	f.Add([]byte(`{"axes": {"operators": ["OpZ"], "severities": [0, 0.5]}}`))
+	f.Add([]byte(`{"axes": {"planets": ["mars"]}}`))                      // unknown axis
+	f.Add([]byte(`{"axes": {"operators": []}}`))                          // empty grid
+	f.Add([]byte(`{"seeds": [4, 4]}`))                                    // duplicate seeds
+	f.Add([]byte(`{"axes": {"severities": [NaN]}}`))                      // NaN severity
+	f.Add([]byte(`{"axes": {"severities": [1e999]}}`))                    // overflowing severity
+	f.Add([]byte(`{"axes": {"apps": ["vivo"], "predictors": ["LSTM"]}}`)) // workload mismatch
+	f.Add([]byte(`{"repeats": -9}`))
+	f.Add([]byte(`{} trailing`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1, 2]`))
+	f.Add([]byte(`"just a string"`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := Parse(data)
+		if err != nil {
+			var pe *ParseError
+			var ve *ValidationError
+			if !errors.As(err, &pe) && !errors.As(err, &ve) {
+				t.Fatalf("untyped error %T: %v", err, err)
+			}
+			return
+		}
+		cells := Expand(cfg)
+		if len(cells) == 0 {
+			t.Fatal("valid config expanded to zero cells")
+		}
+		keys := map[string]bool{}
+		for i, c := range cells {
+			if c.Index != i {
+				t.Fatalf("cell %d has index %d", i, c.Index)
+			}
+			if keys[c.Key()] {
+				t.Fatalf("duplicate cell key %s", c.Key())
+			}
+			keys[c.Key()] = true
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package grid
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// manifestVersion guards the on-disk layout; a version bump invalidates
+// every cached cell.
+const manifestVersion = 1
+
+// ManifestCell records one completed cell: its identity and the checksum of
+// its result file. No timings — a resumed manifest must be byte-identical
+// to an uninterrupted one.
+type ManifestCell struct {
+	Index  int    `json:"index"`
+	Key    string `json:"key"`
+	File   string `json:"file"`
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest is the resume state of a grid run: which config the cells belong
+// to (by hash of its normalized form) and a checksum per completed cell.
+type Manifest struct {
+	Version    int            `json:"version"`
+	ConfigHash string         `json:"config_hash"`
+	Cells      []ManifestCell `json:"cells"`
+}
+
+// manifestPath locates the manifest inside a run directory.
+func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
+
+// configHash fingerprints the normalized config. Struct marshaling has a
+// fixed field order, so the hash is stable; any semantic change — an axis
+// value, a seed, an ML knob — changes it and invalidates every cached cell.
+func configHash(cfg *Config) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		// A Config is plain data; marshaling cannot fail.
+		panic(err)
+	}
+	return hashBytes(b)
+}
+
+// hashBytes returns the hex sha256 of b.
+func hashBytes(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// loadManifest reads a manifest if present; a missing file returns nil (a
+// fresh run), a corrupt one an error.
+func loadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(manifestPath(dir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("grid: corrupt manifest %s: %w", manifestPath(dir), err)
+	}
+	return &m, nil
+}
+
+// save writes the manifest atomically (temp file + rename), cells sorted by
+// index, so a kill at any moment leaves either the old or the new manifest
+// on disk — never a torn one.
+func (m *Manifest) save(dir string) error {
+	sort.Slice(m.Cells, func(i, j int) bool { return m.Cells[i].Index < m.Cells[j].Index })
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return atomicWrite(manifestPath(dir), append(b, '\n'))
+}
+
+// atomicWrite writes data to path via a temp file in the same directory.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// cached verifies one manifest entry against the cell list and the files on
+// disk: the entry must match the cell's identity and its file's checksum.
+// Any mismatch — edited config (different key at that index), corrupted or
+// deleted file, checksum drift — marks the cell stale so only it reruns.
+func (m *Manifest) cached(dir string, c Cell) ([]byte, bool) {
+	for _, mc := range m.Cells {
+		if mc.Index != c.Index {
+			continue
+		}
+		if mc.Key != c.Key() || mc.File == "" {
+			return nil, false
+		}
+		b, err := os.ReadFile(filepath.Join(dir, mc.File))
+		if err != nil || hashBytes(b) != mc.SHA256 {
+			return nil, false
+		}
+		return b, true
+	}
+	return nil, false
+}

@@ -1,0 +1,104 @@
+package qoe
+
+import "fmt"
+
+// CloudGamingConfig models an interactive cloud-gaming stream: the server
+// encodes one video frame per tick (60 fps) and every frame must land
+// within a hard per-frame deadline — at 16.7 ms there is no client buffer
+// to hide throughput dips behind, which makes the app far more sensitive
+// to CA's throughput variability than buffered video. The encoder adapts
+// its bitrate frame-by-frame to the predicted bandwidth, like the ViVo
+// quality ladder but on a millisecond budget.
+type CloudGamingConfig struct {
+	// FrameIntervalS is the frame period (1/60 s at 60 fps).
+	FrameIntervalS float64
+	// DeadlineS is the delivery deadline per frame; a frame finishing
+	// later than this is a deadline miss (displayed late or dropped).
+	// The paper-motivated default is 16 ms.
+	DeadlineS float64
+	// LadderMbps are the encoder bitrates, ascending (1080p60..4K60 HDR).
+	LadderMbps []float64
+	// Safety discounts the predicted bandwidth before picking a rate.
+	Safety float64
+}
+
+// DefaultCloudGamingConfig is a 60 fps stream with a 16 ms frame deadline
+// and a 1080p-to-4K encoder ladder.
+func DefaultCloudGamingConfig() CloudGamingConfig {
+	return CloudGamingConfig{
+		FrameIntervalS: 1.0 / 60,
+		DeadlineS:      0.016,
+		LadderMbps:     []float64{10, 20, 35, 50, 75},
+		Safety:         0.9,
+	}
+}
+
+// CloudGamingResult is the QoE outcome of one cloud-gaming session.
+type CloudGamingResult struct {
+	// Frames is the number of frames streamed.
+	Frames int
+	// Misses counts frames that blew the per-frame deadline.
+	Misses int
+	// MissRate is Misses/Frames.
+	MissRate float64
+	// AvgBitrateMbps is the mean encoded bitrate.
+	AvgBitrateMbps float64
+	// AvgLevel is the mean ladder level (1-based), comparable to ViVo's
+	// AvgQuality.
+	AvgLevel float64
+	// LateTimeS accumulates how far past the deadline late frames landed.
+	LateTimeS float64
+}
+
+// String implements fmt.Stringer.
+func (r CloudGamingResult) String() string {
+	return fmt.Sprintf("frames=%d missRate=%.3f avgRate=%.1fMbps late=%.3fs",
+		r.Frames, r.MissRate, r.AvgBitrateMbps, r.LateTimeS)
+}
+
+// RunCloudGaming streams frames over the channel until the trace ends,
+// picking each frame's encoder rate from the predictor. Unlike buffered
+// video, the game renders in real time: frame k is generated at k·interval
+// no matter what the link does, and queues behind any in-flight transfer,
+// so every frame generated during an outage blows its deadline — there is
+// no resynchronization that forgives a stall.
+func RunCloudGaming(cfg CloudGamingConfig, ch *Channel, pred BandwidthPredictor) CloudGamingResult {
+	var res CloudGamingResult
+	dur := ch.Duration()
+	busyUntil := 0.0
+	var rateSum, levelSum float64
+	for k := 0; ; k++ {
+		gen := float64(k) * cfg.FrameIntervalS
+		if gen+cfg.FrameIntervalS > dur {
+			break
+		}
+		start := gen
+		if busyUntil > start {
+			start = busyUntil
+		}
+		bw := pred.PredictMbps(start, cfg.FrameIntervalS)
+		level := 0
+		for i, rate := range cfg.LadderMbps {
+			if rate <= bw*cfg.Safety {
+				level = i
+			}
+		}
+		frameMb := cfg.LadderMbps[level] * cfg.FrameIntervalS
+		finish := ch.Download(frameMb, start)
+		busyUntil = finish
+		pred.Observe(frameMb / (finish - start))
+		res.Frames++
+		rateSum += cfg.LadderMbps[level]
+		levelSum += float64(level + 1)
+		if late := finish - (gen + cfg.DeadlineS); late > 0 {
+			res.Misses++
+			res.LateTimeS += late
+		}
+	}
+	if res.Frames > 0 {
+		res.MissRate = float64(res.Misses) / float64(res.Frames)
+		res.AvgBitrateMbps = rateSum / float64(res.Frames)
+		res.AvgLevel = levelSum / float64(res.Frames)
+	}
+	return res
+}

@@ -1,0 +1,112 @@
+package qoe
+
+import (
+	"math"
+	"testing"
+)
+
+// outageSeries builds a 60 s, 10 ms-step throughput series with periodic
+// outages covering the given fraction of the time: rate 80 Mbps normally,
+// 0 during outage windows spread evenly through the trace.
+func outageSeries(outageFrac float64) []float64 {
+	const (
+		stepS   = 0.01
+		totalS  = 60.0
+		periodS = 2.0
+		rate    = 80.0
+	)
+	n := int(totalS / stepS)
+	perPeriod := int(periodS / stepS)
+	outPerPeriod := int(outageFrac * float64(perPeriod))
+	s := make([]float64, n)
+	for i := range s {
+		if i%perPeriod < outPerPeriod {
+			s[i] = 0
+		} else {
+			s[i] = rate
+		}
+	}
+	return s
+}
+
+// TestCloudGamingMissRateMonotoneInOutage pins the headline QoE law for the
+// cloud-gaming app: deadline-miss rate degrades monotonically as the channel
+// outage fraction grows, from near-zero on a clean link to severe.
+func TestCloudGamingMissRateMonotoneInOutage(t *testing.T) {
+	cfg := DefaultCloudGamingConfig()
+	fracs := []float64{0, 0.1, 0.25, 0.5, 0.75}
+	var rates []float64
+	for _, f := range fracs {
+		ch := NewChannelFromSeries(outageSeries(f), 0.01)
+		res := RunCloudGaming(cfg, ch, &Oracle{Ch: ch})
+		if res.Frames == 0 {
+			t.Fatalf("outage %.2f: streamed zero frames", f)
+		}
+		rates = append(rates, res.MissRate)
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] < rates[i-1] {
+			t.Fatalf("miss rate not monotone in outage fraction: %.2f -> %.3f but %.2f -> %.3f",
+				fracs[i-1], rates[i-1], fracs[i], rates[i])
+		}
+	}
+	if rates[0] > 0.05 {
+		t.Fatalf("clean channel miss rate %.3f; want near zero", rates[0])
+	}
+	if rates[len(rates)-1] < 0.3 {
+		t.Fatalf("75%% outage miss rate only %.3f; outages must hurt a 16 ms deadline", rates[len(rates)-1])
+	}
+}
+
+// TestCloudGamingDeadlineTighterThanViVo pins why the app exists: on the
+// same impaired channel, the 16 ms frame deadline misses far more often
+// than ViVo's 150 ms one, so the grid's cloud-gaming axis measures
+// something buffered video cannot.
+func TestCloudGamingDeadlineTighterThanViVo(t *testing.T) {
+	series := outageSeries(0.25)
+	chCG := NewChannelFromSeries(series, 0.01)
+	cg := RunCloudGaming(DefaultCloudGamingConfig(), chCG, &Oracle{Ch: chCG})
+
+	chVV := NewChannelFromSeries(series, 0.01)
+	vv := RunViVo(DefaultViVoConfig(), chVV, &Oracle{Ch: chVV})
+	vivoMiss := 0.0
+	if vv.Frames > 0 {
+		vivoMiss = float64(vv.Stalls) / float64(vv.Frames)
+	}
+	if cg.MissRate <= vivoMiss {
+		t.Fatalf("cloud gaming miss rate %.3f <= ViVo stall rate %.3f on the same channel", cg.MissRate, vivoMiss)
+	}
+}
+
+// TestCloudGamingAdaptsBitrate pins the encoder ladder: a fat clean channel
+// sustains a higher average bitrate than a thin one, and both stay inside
+// the ladder's bounds.
+func TestCloudGamingAdaptsBitrate(t *testing.T) {
+	cfg := DefaultCloudGamingConfig()
+	flat := func(mbps float64) *Channel {
+		s := make([]float64, 3000)
+		for i := range s {
+			s[i] = mbps
+		}
+		return NewChannelFromSeries(s, 0.01)
+	}
+	fat := flat(120)
+	thin := flat(15)
+	rFat := RunCloudGaming(cfg, fat, &Oracle{Ch: fat})
+	rThin := RunCloudGaming(cfg, thin, &Oracle{Ch: thin})
+	if rFat.AvgBitrateMbps <= rThin.AvgBitrateMbps {
+		t.Fatalf("fat channel bitrate %.1f <= thin channel %.1f", rFat.AvgBitrateMbps, rThin.AvgBitrateMbps)
+	}
+	lo, hi := cfg.LadderMbps[0], cfg.LadderMbps[len(cfg.LadderMbps)-1]
+	for _, r := range []CloudGamingResult{rFat, rThin} {
+		if r.AvgBitrateMbps < lo-1e-9 || r.AvgBitrateMbps > hi+1e-9 {
+			t.Fatalf("avg bitrate %.1f outside ladder [%.0f,%.0f]", r.AvgBitrateMbps, lo, hi)
+		}
+		if math.IsNaN(r.MissRate) {
+			t.Fatalf("NaN miss rate")
+		}
+	}
+	if rFat.MissRate > 0.05 {
+		t.Fatalf("clean fat channel misses %.3f of deadlines", rFat.MissRate)
+	}
+}

@@ -150,10 +150,75 @@ func cqiLag(pat mobility.Mobility) float64 {
 	}
 }
 
+// ULConfig models the asymmetric uplink schedule the UL-prediction
+// literature measures (Rahman et al.): operators aggregate far fewer
+// carriers on the uplink, TDD frames reserve most slots for downlink, and
+// the UE's transmit power budget — not the gNB's — bounds link adaptation.
+type ULConfig struct {
+	// GrantRatio is the fraction of schedulable uplink opportunities the
+	// cell grants this UE, the monotone UL:DL asymmetry knob: granted UL
+	// RBs and UL goodput scale proportionally with it.
+	GrantRatio float64
+	// MaxCC bounds the carriers aggregated on the uplink (typically 2 vs
+	// 4 on the downlink).
+	MaxCC int
+	// PowerOffsetDB is the effective SINR deficit of the UE's transmit
+	// chain against the downlink (class-3 UE vs macro gNB).
+	PowerOffsetDB float64
+	// MaxRank caps UL MIMO layers (UL-MIMO rarely exceeds 2).
+	MaxRank int
+}
+
+// DefaultULConfig returns the study's uplink schedule defaults.
+func DefaultULConfig() ULConfig {
+	return ULConfig{GrantRatio: 0.35, MaxCC: 2, PowerOffsetDB: -6, MaxRank: 2}
+}
+
+// withDefaults fills zero fields with the defaults, keeping GrantRatio as
+// given (a zero ratio is a legal "no UL grants" setting only when set
+// explicitly negative; zero means "default").
+func (u ULConfig) withDefaults() ULConfig {
+	d := DefaultULConfig()
+	if u.GrantRatio == 0 {
+		u.GrantRatio = d.GrantRatio
+	}
+	if u.GrantRatio < 0 {
+		u.GrantRatio = 0
+	}
+	if u.GrantRatio > 1 {
+		u.GrantRatio = 1
+	}
+	if u.MaxCC <= 0 {
+		u.MaxCC = d.MaxCC
+	}
+	if u.PowerOffsetDB == 0 {
+		u.PowerOffsetDB = d.PowerOffsetDB
+	}
+	if u.MaxRank <= 0 {
+		u.MaxRank = d.MaxRank
+	}
+	return u
+}
+
 // Observe computes the per-CC observations and aggregate throughput for the
 // engine's current serving set with the UE at p, for a sampling interval of
 // dt seconds.
 func (s *Scheduler) Observe(e *Engine, p mobility.Point, pat mobility.Mobility, indoor bool, events []Event, dt float64) Snapshot {
+	return s.observe(e, p, pat, indoor, events, dt, nil)
+}
+
+// ObserveUL is Observe for the uplink: the radio measurements, fading and
+// scheduler-share processes are drawn exactly as on the downlink (one rng
+// sequence per campaign, whichever direction is recorded), but goodput
+// follows the asymmetric UL schedule — at most ul.MaxCC carriers aggregate,
+// each granted GrantRatio of its schedulable UL opportunities, with link
+// adaptation run at the UE-power-limited SINR.
+func (s *Scheduler) ObserveUL(e *Engine, p mobility.Point, pat mobility.Mobility, indoor bool, events []Event, dt float64, ul ULConfig) Snapshot {
+	u := ul.withDefaults()
+	return s.observe(e, p, pat, indoor, events, dt, &u)
+}
+
+func (s *Scheduler) observe(e *Engine, p mobility.Point, pat mobility.Mobility, indoor bool, events []Event, dt float64, ul *ULConfig) Snapshot {
 	serving := e.Serving()
 	snap := Snapshot{At: e.Now(), Events: events}
 	if len(serving) == 0 {
@@ -162,6 +227,7 @@ func (s *Scheduler) Observe(e *Engine, p mobility.Point, pat mobility.Mobility, 
 	numCCs := len(serving)
 	// Aggregate bandwidth in activation order, to find throttled SCells.
 	cumBW := 0.0
+	ulCCs := 0
 	for _, sc := range serving {
 		cell := sc.Cell
 		rs := e.MeasureServing(sc, p, indoor)
@@ -229,14 +295,41 @@ func (s *Scheduler) Observe(e *Engine, p mobility.Point, pat mobility.Mobility, 
 		rb := share * float64(cell.NumRB)
 
 		active := sc.Active(e.Now())
+		slotFrac := 1.0
+		if cell.IsTDD() {
+			slotFrac = phy.TDDDownlinkFraction
+		}
+		if ul != nil {
+			// Uplink: at most MaxCC active carriers aggregate (UL CA is
+			// far shallower than DL CA), link adaptation runs at the
+			// UE-power-limited SINR, and the granted RBs scale with the
+			// grant ratio — the monotone UL:DL asymmetry knob.
+			if active {
+				if ulCCs >= ul.MaxCC {
+					active = false
+				} else {
+					ulCCs++
+				}
+			}
+			effSINR := reportedSINR + ul.PowerOffsetDB
+			cqi = phy.CQIFromSINR(effSINR)
+			mcs = phy.MCSFromCQI(cqi)
+			ulRank := cell.MaxRank
+			if ulRank > ul.MaxRank {
+				ulRank = ul.MaxRank
+			}
+			layers = phy.RankFromSINR(effSINR, ulRank)
+			bler = phy.BLER(effSINR - sinrNeeded(cqi) - cqiLag(pat))
+			rb *= ul.GrantRatio
+			if cell.IsTDD() {
+				slotFrac = 1 - phy.TDDDownlinkFraction
+			}
+		}
 		tput := 0.0
 		if active {
 			nRE := phy.NumRE(int(rb), phy.SymbolsPerSlot-1)
 			bitsPerSlot := phy.TBS(nRE, mcs, layers)
-			slots := float64(phy.SlotsPerSecond(cell.Chan.SCSKHz))
-			if cell.IsTDD() {
-				slots *= phy.TDDDownlinkFraction
-			}
+			slots := float64(phy.SlotsPerSecond(cell.Chan.SCSKHz)) * slotFrac
 			tput = float64(bitsPerSlot) * slots * (1 - bler) * s.SchedulingEfficiency / 1e6
 		}
 		obs := CCObservation{

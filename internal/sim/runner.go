@@ -116,12 +116,13 @@ func newRunner(cfg RunConfig, net *ran.Network, src *rng.Source, stepNet bool) *
 		mv:    mv,
 		tr: trace.Trace{
 			Meta: trace.Meta{
-				Operator: string(cfg.Operator),
-				Scenario: cfg.Scenario.String(),
-				Mobility: cfg.Mobility.String(),
-				Modem:    cfg.Modem.String(),
-				Route:    cfg.Route,
-				Run:      cfg.Run,
+				Operator:  string(cfg.Operator),
+				Scenario:  cfg.Scenario.String(),
+				Mobility:  cfg.Mobility.String(),
+				Modem:     cfg.Modem.String(),
+				Direction: cfg.Direction,
+				Route:     cfg.Route,
+				Run:       cfg.Run,
 			},
 			StepS: cfg.StepS,
 		},
@@ -165,7 +166,12 @@ func (r *Runner) RecordStep() {
 		r.net.StepLoads(r.cfg.TODMultiplier, r.cfg.StepS)
 	}
 	events := r.eng.Step(r.mv.Pos(), moved, r.cfg.StepS, r.indoor)
-	snap := r.sched.Observe(r.eng, r.mv.Pos(), r.cfg.Mobility, r.indoor, events, r.cfg.StepS)
+	var snap ran.Snapshot
+	if r.cfg.Direction == trace.DirectionUL {
+		snap = r.sched.ObserveUL(r.eng, r.mv.Pos(), r.cfg.Mobility, r.indoor, events, r.cfg.StepS, r.cfg.UL)
+	} else {
+		snap = r.sched.Observe(r.eng, r.mv.Pos(), r.cfg.Mobility, r.indoor, events, r.cfg.StepS)
+	}
 
 	for _, ev := range events {
 		r.stats.Events = append(r.stats.Events, ev)

@@ -63,6 +63,15 @@ type RunConfig struct {
 	// after an in-simulation radio link failure (0 = instant reselect,
 	// the historical behaviour).
 	ReestablishDelayS float64
+	// Direction selects which link the trace records:
+	// trace.DirectionDL (the default, empty) or trace.DirectionUL. An
+	// uplink run evolves the exact same campaign (same rng sequence,
+	// same serving sets) but records UL goodput under the asymmetric UL
+	// schedule of cfg.UL.
+	Direction string
+	// UL parameterizes the uplink schedule for Direction == DirectionUL
+	// runs; zero fields take ran.DefaultULConfig values.
+	UL ran.ULConfig
 }
 
 func (c *RunConfig) defaults() {
@@ -284,6 +293,14 @@ type BuildOpts struct {
 	// build's root stream before any worker starts, so the dataset is
 	// byte-identical at every worker count.
 	Workers int
+	// Direction selects the recorded link for every trace of the build
+	// (trace.DirectionDL when empty); UL parameterizes the uplink
+	// schedule of DirectionUL builds.
+	Direction string
+	UL        ran.ULConfig
+	// BandLock restricts every run of the build to the named bands
+	// (paper methodology [C1]); nil leaves band selection free.
+	BandLock []string
 }
 
 // DefaultBuildOpts mirrors Table 11: 10 traces, ~450 samples each.
@@ -324,10 +341,13 @@ func BuildReport(spec SubDatasetSpec, opts BuildOpts) (*trace.Dataset, faults.Re
 // seed, fault plan and worker count.
 func buildDefaults(opts BuildOpts) BuildOpts {
 	if opts.Traces == 0 {
-		plan, workers := opts.Faults, opts.Workers
+		keep := opts
 		opts = DefaultBuildOpts(opts.Seed)
-		opts.Faults = plan
-		opts.Workers = workers
+		opts.Faults = keep.Faults
+		opts.Workers = keep.Workers
+		opts.Direction = keep.Direction
+		opts.UL = keep.UL
+		opts.BandLock = keep.BandLock
 	}
 	return opts
 }
@@ -372,9 +392,12 @@ func BuildConfigs(spec SubDatasetSpec, opts BuildOpts) []RunConfig {
 			DurationS: dur,
 			StepS:     spec.Gran.StepS(),
 			Seed:      seedSrc.Uint64(),
+			BandLock:  opts.BandLock,
 			Route:     i / 2,
 			Run:       i % 2,
 			Faults:    opts.Faults,
+			Direction: opts.Direction,
+			UL:        opts.UL,
 		}
 	}
 	return cfgs

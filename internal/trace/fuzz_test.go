@@ -39,18 +39,18 @@ func FuzzReadCSV(f *testing.F) {
 	header := validCSV[:strings.IndexByte(validCSV, '\n')+1]
 	rows := strings.SplitAfter(validCSV, "\n")
 
-	f.Add(validCSV)                         // clean round-trip input
-	f.Add("")                               // empty file
-	f.Add(header)                           // header only: no samples
-	f.Add(header + rows[1])                 // single row: step not inferable
-	f.Add(header + rows[1] + rows[1])       // identical timestamps
-	f.Add(strings.Replace(validCSV, "0.500", "NaN", 1))   // NaN timestamp
-	f.Add(strings.Replace(validCSV, "110.000", "x", 1))   // unparseable numeric
-	f.Add(header + "1,2,3\n")               // truncated row
-	f.Add("alien,header\n1,2\n")            // alien header
-	f.Add("t\n")                            // right first column, wrong width
-	f.Add(header + rows[1] + "\"")          // dangling quote mid-file
-	f.Add("\x00\x01\xff\xfe")               // binary junk
+	f.Add(validCSV)                                     // clean round-trip input
+	f.Add("")                                           // empty file
+	f.Add(header)                                       // header only: no samples
+	f.Add(header + rows[1])                             // single row: step not inferable
+	f.Add(header + rows[1] + rows[1])                   // identical timestamps
+	f.Add(strings.Replace(validCSV, "0.500", "NaN", 1)) // NaN timestamp
+	f.Add(strings.Replace(validCSV, "110.000", "x", 1)) // unparseable numeric
+	f.Add(header + "1,2,3\n")                           // truncated row
+	f.Add("alien,header\n1,2\n")                        // alien header
+	f.Add("t\n")                                        // right first column, wrong width
+	f.Add(header + rows[1] + "\"")                      // dangling quote mid-file
+	f.Add("\x00\x01\xff\xfe")                           // binary junk
 
 	f.Fuzz(func(t *testing.T, data string) {
 		tr, err := ReadCSV(strings.NewReader(data))

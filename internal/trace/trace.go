@@ -121,12 +121,27 @@ type Trace struct {
 	Samples []Sample
 }
 
+// Direction labels which link a trace measures. The historical datasets
+// are all downlink; the zero value keeps their JSON encoding (and the
+// committed golden hashes) byte-identical.
+const (
+	// DirectionDL is the downlink (the empty string, for fixture
+	// compatibility: every pre-direction trace is a downlink trace).
+	DirectionDL = ""
+	// DirectionUL marks an uplink trace: throughput fields carry UL
+	// goodput under the asymmetric UL grant schedule.
+	DirectionUL = "ul"
+)
+
 // Meta identifies the conditions of a trace / dataset (paper Table 11).
 type Meta struct {
 	Operator string
 	Scenario string
 	Mobility string
 	Modem    string
+	// Direction is DirectionUL for uplink traces; empty means downlink
+	// (omitted from JSON so historical fixtures keep their bytes).
+	Direction string `json:",omitempty"`
 	// Route distinguishes different routes; Run distinguishes repeated
 	// runs of one route (used by the generalizability splits).
 	Route int

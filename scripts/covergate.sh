@@ -21,7 +21,7 @@ WARN=75
 FAIL=40
 
 status=0
-for pkg in prism5g/internal/conform prism5g/internal/nn prism5g/internal/obs prism5g/internal/qoe; do
+for pkg in prism5g/internal/conform prism5g/internal/grid prism5g/internal/nn prism5g/internal/obs prism5g/internal/qoe; do
     pct=$(awk -v pkg="$pkg" '$1 == "ok" && $2 == pkg {
         for (i = 3; i <= NF; i++) if ($i == "coverage:") { sub(/%$/, "", $(i+1)); print $(i+1); exit }
     }' "$out")

@@ -1,0 +1,79 @@
+#!/bin/sh
+# gridsmoke.sh
+#
+# End-to-end smoke of the scenario-grid engine, used by `make grid-smoke`
+# and CI:
+#
+#   1. A tiny 2x2 QoE grid runs to completion (the reference).
+#   2. The same grid is interrupted with -abort-after 2 (exit code 3),
+#      then resumed; the resumed directory must be byte-identical to the
+#      uninterrupted reference — the grid resume contract.
+#   3. The resumed run must have reused the 2 pre-abort cells from the
+#      manifest instead of recomputing them.
+#   4. A -workers 4 run must also be byte-identical (the grid determinism
+#      contract).
+set -eu
+
+GO=${GO:-go}
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+# go run would swallow the abort exit code (it always exits 1 on a nonzero
+# child), so build the real binary once.
+$GO build -o "$dir/prismgrid" ./cmd/prismgrid
+GRID=$dir/prismgrid
+
+cat >"$dir/grid.json" <<'EOF'
+{
+  "name": "smoke",
+  "seed": 11,
+  "ml": {"traces": 2, "samples_per_trace": 40, "stride": 3},
+  "axes": {
+    "operators": ["OpZ"],
+    "mobilities": ["walking"],
+    "predictors": ["Ideal", "MovingMean"],
+    "apps": ["cloudgaming", "vivo"]
+  }
+}
+EOF
+
+echo "grid-smoke: reference run" >&2
+"$GRID" -config "$dir/grid.json" -out "$dir/ref" >&2
+
+echo "grid-smoke: interrupted run (-abort-after 2)" >&2
+status=0
+"$GRID" -config "$dir/grid.json" -out "$dir/resume" \
+    -abort-after 2 >&2 || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "grid-smoke: FAIL: aborted run exited $status, want 3" >&2
+    exit 1
+fi
+if [ -e "$dir/resume/summary.json" ]; then
+    echo "grid-smoke: FAIL: aborted run wrote a summary" >&2
+    exit 1
+fi
+
+echo "grid-smoke: resume" >&2
+out=$("$GRID" -config "$dir/grid.json" -out "$dir/resume")
+echo "$out" >&2
+case $out in
+*"2 cached"*) ;;
+*)
+    echo "grid-smoke: FAIL: resume did not reuse the 2 pre-abort cells" >&2
+    exit 1
+    ;;
+esac
+
+if ! diff -r "$dir/ref" "$dir/resume" >&2; then
+    echo "grid-smoke: FAIL: resumed run differs from uninterrupted reference" >&2
+    exit 1
+fi
+echo "grid-smoke: resumed run byte-identical to reference" >&2
+
+echo "grid-smoke: determinism at -workers 4" >&2
+"$GRID" -config "$dir/grid.json" -out "$dir/w4" -workers 4 >/dev/null
+if ! diff -r "$dir/ref" "$dir/w4" >&2; then
+    echo "grid-smoke: FAIL: -workers 4 run differs from reference" >&2
+    exit 1
+fi
+echo "grid-smoke: ok" >&2
