@@ -35,7 +35,10 @@ alloc-gate:
 	./scripts/allocgate.sh
 
 # Telemetry smoke: a quick instrumented run must produce a parseable
-# metrics snapshot covering the sim, par, trace and train stages.
+# metrics snapshot covering the sim, par, trace and train stages; then a
+# live prismserve must trace every request (X-Prism-Trace), expose a
+# valid OpenMetrics /metrics with trace-ID exemplars, and its journal
+# must answer prismobs blame/slo.
 obs-smoke:
 	$(GO) run ./cmd/prismeval -quick -runtime -metrics obs_metrics.json -journal obs_journal.jsonl
 	./scripts/obssmoke.sh obs_metrics.json

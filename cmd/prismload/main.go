@@ -8,6 +8,14 @@
 //
 //	prismload [-addr host:port] [-sessions N] [-requests N] [-seed N]
 //	          [-timeout D] [-max-backoff D] [-chaos] [-probe] [-probe-wait D]
+//	          [-metrics FILE] [-journal FILE]
+//
+// With -journal, prismload records the client half of the tracing story:
+// every answered request's X-Prism-Trace ID lands in a client-side trace
+// event (round-trip and response-decode stage timings), so `prismobs
+// blame -journal load.jsonl` decomposes latency as the client saw it and
+// the shared trace IDs join client and server journals. -metrics writes a
+// snapshot whose load.request_s histogram carries those IDs as exemplars.
 //
 // With -chaos, a seeded fraction of iterations misbehave on purpose —
 // slow-loris dribble, malformed payloads, mid-request disconnects, request
@@ -33,6 +41,7 @@ import (
 	"time"
 
 	"prism5g"
+	"prism5g/internal/obs"
 	"prism5g/internal/serve"
 	"prism5g/internal/trace"
 )
@@ -47,12 +56,25 @@ func main() {
 	chaos := flag.Bool("chaos", false, "inject slow-loris, malformed payloads, disconnects and bursts")
 	probe := flag.Bool("probe", false, "probe /healthz and /readyz and exit (0 iff both 200)")
 	probeWait := flag.Duration("probe-wait", 0, "with -probe: keep retrying for this long before giving up")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *probe {
 		os.Exit(runProbe(*addr, *probeWait))
 	}
-	os.Exit(runLoad(*addr, *sessions, *requests, *seed, *timeout, *maxBackoff, *chaos))
+	cli, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prismload:", err)
+		os.Exit(1)
+	}
+	code := runLoad(*addr, *sessions, *requests, *seed, *timeout, *maxBackoff, *chaos)
+	if err := cli.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "prismload:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
 }
 
 // runProbe checks /healthz and /readyz, retrying up to wait (so smoke
@@ -91,6 +113,7 @@ type stats struct {
 
 	ok, warmup, degraded, shed, unavailable int
 	clientErrs, serverErrs, transportErrs   int
+	traced, untraced                        int // answered requests with/without X-Prism-Trace
 
 	chaosMalformed, chaosMalformedBad       int
 	chaosLoris, chaosDisconnect, chaosBurst int
@@ -119,6 +142,17 @@ func (st *stats) record(outcome string, latency time.Duration) {
 		st.serverErrs++
 	case "transport-error":
 		st.transportErrs++
+	}
+}
+
+// noteTrace tallies whether an answered request carried a trace header.
+func (st *stats) noteTrace(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if id != "" {
+		st.traced++
+	} else {
+		st.untraced++
 	}
 }
 
@@ -195,7 +229,11 @@ func runSession(client *http.Client, addr, id string, samples []trace.Sample,
 
 // sendForecast posts one well-formed sample and classifies the outcome.
 // Every answered request counts somewhere — "zero dropped" means the sum
-// of categories equals the number of sends.
+// of categories equals the number of sends. With telemetry on, each
+// answered request also records a client-side view of the server's trace:
+// the latency lands in the load.request_s histogram with the server's
+// X-Prism-Trace ID as exemplar, and a trace event with round-trip and
+// decode stage timings joins the journal.
 func sendForecast(client *http.Client, addr, id string, s trace.Sample, st *stats, maxBackoff time.Duration) {
 	body, err := json.Marshal(serve.Request{Session: id, Samples: []trace.Sample{s}})
 	if err != nil {
@@ -210,31 +248,47 @@ func sendForecast(client *http.Client, addr, id string, s trace.Sample, st *stat
 		return
 	}
 	defer resp.Body.Close()
+	traceID := resp.Header.Get(serve.TraceHeader)
+	st.noteTrace(traceID)
+
+	var outcome string
+	var decodeS float64
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		var fr serve.Response
-		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
-			st.record("server-error", lat)
-			return
-		}
+		d0 := time.Now()
+		err := json.NewDecoder(resp.Body).Decode(&fr)
+		decodeS = time.Since(d0).Seconds()
 		switch {
+		case err != nil:
+			outcome = "server-error"
 		case fr.Warmup:
-			st.record("warmup", lat)
+			outcome = "warmup"
 		case fr.Degraded:
-			st.record("degraded", lat)
+			outcome = "degraded"
 		default:
-			st.record("ok", lat)
+			outcome = "ok"
 		}
 	case resp.StatusCode == http.StatusTooManyRequests:
-		st.record("shed", lat)
-		sleepRetryAfter(resp, maxBackoff)
+		outcome = "shed"
 	case resp.StatusCode == http.StatusServiceUnavailable:
-		st.record("unavailable", lat)
-		sleepRetryAfter(resp, maxBackoff)
+		outcome = "unavailable"
 	case resp.StatusCode >= 500:
-		st.record("server-error", lat)
+		outcome = "server-error"
 	default:
-		st.record("client-error", lat)
+		outcome = "client-error"
+	}
+	st.record(outcome, lat)
+	if obs.Enabled() {
+		obs.ObserveEx("load.request_s", lat.Seconds(), traceID)
+		obs.Emit("trace", map[string]any{
+			"trace": traceID, "session": id, "outcome": outcome,
+			"total_s": lat.Seconds() + decodeS,
+			"rtt_s":   lat.Seconds(), "resp_decode_s": decodeS,
+		})
+	}
+	if outcome == "shed" || outcome == "unavailable" {
+		sleepRetryAfter(resp, maxBackoff)
 	}
 }
 
@@ -280,6 +334,7 @@ func report(st *stats, elapsed time.Duration, chaos, healthyAfter bool) int {
 		st.ok, st.warmup, st.degraded, st.shed, st.unavailable)
 	fmt.Printf("  errors     client=%d server=%d transport=%d\n",
 		st.clientErrs, st.serverErrs, st.transportErrs)
+	fmt.Printf("  tracing    traced=%d untraced=%d\n", st.traced, st.untraced)
 	if chaos {
 		fmt.Printf("  chaos      malformed=%d (accepted=%d) slowloris=%d disconnect=%d burst=%d\n",
 			st.chaosMalformed, st.chaosMalformedBad, st.chaosLoris, st.chaosDisconnect, st.chaosBurst)
@@ -293,7 +348,8 @@ func report(st *stats, elapsed time.Duration, chaos, healthyAfter bool) int {
 		"shed": st.shed, "unavailable": st.unavailable,
 		"client_errors": st.clientErrs, "server_errors": st.serverErrs,
 		"transport_errors": st.transportErrs,
-		"chaos_malformed":  st.chaosMalformed, "chaos_malformed_accepted": st.chaosMalformedBad,
+		"traced":           st.traced, "untraced": st.untraced,
+		"chaos_malformed": st.chaosMalformed, "chaos_malformed_accepted": st.chaosMalformedBad,
 		"chaos_slowloris": st.chaosLoris, "chaos_disconnect": st.chaosDisconnect,
 		"chaos_burst":   st.chaosBurst,
 		"healthy_after": healthyAfter,

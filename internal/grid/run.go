@@ -172,6 +172,7 @@ func Run(ctx context.Context, cfg *Config, dir string, opts RunOpts) (*Report, e
 			if p.cached {
 				rep.Cached++
 				obs.Add("grid.cells_cached", 1)
+				emitGridProgress(cfg.Name, rep, len(cells), t0)
 				return nil
 			}
 			file := cells[i].Key() + ".json"
@@ -184,6 +185,7 @@ func Run(ctx context.Context, cfg *Config, dir string, opts RunOpts) (*Report, e
 			}
 			rep.Computed++
 			obs.Add("grid.cells_computed", 1)
+			emitGridProgress(cfg.Name, rep, len(cells), t0)
 			if opts.AbortAfterCells > 0 && rep.Computed >= opts.AbortAfterCells {
 				return ErrAborted
 			}
@@ -207,6 +209,25 @@ func Run(ctx context.Context, cfg *Config, dir string, opts RunOpts) (*Report, e
 	sp.EndWith(map[string]any{"grid": cfg.Name, "cells": rep.Cells,
 		"computed": rep.Computed, "cached": rep.Cached})
 	return rep, nil
+}
+
+// emitGridProgress journals one per-cell progress event — done/total plus
+// an ETA extrapolated from the computed (not cached, those are ~free)
+// cells so far — which `prismobs tail` renders live. Journal-only and
+// wall-clock based: progress never touches cell bytes.
+func emitGridProgress(name string, rep *Report, total int, t0 time.Time) {
+	if !obs.Enabled() {
+		return
+	}
+	done := rep.Computed + rep.Cached
+	var eta float64
+	if rep.Computed > 0 {
+		eta = time.Since(t0).Seconds() / float64(rep.Computed) * float64(total-done)
+	}
+	obs.Emit("grid.progress", map[string]any{
+		"grid": name, "done": done, "total": total,
+		"cached": rep.Cached, "eta_s": eta,
+	})
 }
 
 // runCell executes one cell's workload.

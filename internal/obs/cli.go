@@ -15,9 +15,10 @@ import (
 // shares: -metrics, -journal and -pprof. All default to off; supplying any
 // of them enables the process-global registry for the run.
 type Flags struct {
-	Metrics string
-	Journal string
-	Pprof   string
+	Metrics      string
+	Journal      string
+	JournalMaxMB int
+	Pprof        string
 }
 
 // BindFlags registers the telemetry flags on fs (flag.CommandLine in the
@@ -26,6 +27,7 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.Metrics, "metrics", "", "write a JSON metrics snapshot to this file at exit (enables telemetry)")
 	fs.StringVar(&f.Journal, "journal", "", "stream the JSON-lines event journal to this file (enables telemetry)")
+	fs.IntVar(&f.JournalMaxMB, "journal-max-mb", 256, "journal growth budget in MiB; past it a final journal.truncated event is written and later events are dropped (0 = unbounded)")
 	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (enables telemetry)")
 	return f
 }
@@ -59,6 +61,9 @@ func (f *Flags) Start() (*CLI, error) {
 		}
 		c.journalFile = jf
 		c.journal = NewJournal(jf)
+		if f.JournalMaxMB > 0 {
+			c.journal.SetMaxBytes(int64(f.JournalMaxMB) << 20)
+		}
 		r.SetJournal(c.journal)
 	}
 	if f.Pprof != "" {

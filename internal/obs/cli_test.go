@@ -95,6 +95,81 @@ func TestCLINoFlagsIsInert(t *testing.T) {
 	}
 }
 
+// TestCLIJournalBudget drives the -journal-max-mb flag end to end: a noisy
+// run against a 1 MiB budget must stop with a journal.truncated sentinel
+// and still close cleanly with a parseable journal on disk.
+func TestCLIJournalBudget(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "j.jsonl")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := BindFlags(fs)
+	if err := fs.Parse([]string{"-journal", journal, "-journal-max-mb", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("p", 100)
+	for i := 0; i < 12000; i++ { // ~1.4 MiB of events against a 1 MiB budget
+		Emit("noise", map[string]any{"i": i, "pad": pad})
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jf, err := os.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	evs, err := ReadEvents(jf)
+	if err != nil {
+		t.Fatalf("truncated journal must stay parseable: %v", err)
+	}
+	if len(evs) == 0 || evs[len(evs)-1].Name != "journal.truncated" {
+		t.Fatalf("last of %d events is %q, want journal.truncated",
+			len(evs), evs[len(evs)-1].Name)
+	}
+	fi, err := os.Stat(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > (1<<20)+1024 {
+		t.Fatalf("journal is %d bytes, far past its 1 MiB budget", fi.Size())
+	}
+}
+
+// TestCLISummarySubsystems covers Summary's conditional lines: the
+// population and spilling-sink digests appear only when those counters
+// fired.
+func TestCLISummarySubsystems(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := BindFlags(fs)
+	metrics := filepath.Join(t.TempDir(), "m.json")
+	if err := fs.Parse([]string{"-metrics", metrics}); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if s := cli.Summary(); strings.Contains(s, "population:") || strings.Contains(s, "sink:") {
+		t.Fatalf("quiet run must not mention population or sink: %q", s)
+	}
+	Add("pop.ues_built", 100)
+	Set("pop.ues_per_s", 50)
+	Add("sink.spill_traces", 3)
+	Add("sink.spill_bytes", 1<<20)
+	Observe("sink.emit_wait_s", 0.25)
+	s := cli.Summary()
+	if !strings.Contains(s, "population: 100 UEs") {
+		t.Errorf("summary missing population line: %q", s)
+	}
+	if !strings.Contains(s, "sink: spilled 3 traces") {
+		t.Errorf("summary missing sink line: %q", s)
+	}
+}
+
 // TestCLIPprof starts the profiling server on an ephemeral port and fetches
 // an index page from it.
 func TestCLIPprof(t *testing.T) {

@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultBounds returns the default histogram bucket upper bounds: a
@@ -34,6 +35,18 @@ type Histogram struct {
 	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
 	minBits atomic.Uint64
 	maxBits atomic.Uint64
+	// exemplars holds the most recent traced observation per bucket
+	// (last-write-wins; OpenMetrics attaches them to bucket lines).
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram observation back to the request that
+// produced it — the OpenMetrics mechanism for jumping from a latency
+// bucket on a dashboard to a concrete trace in the journal.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	TS      time.Time
 }
 
 func newHistogram(on *atomic.Bool, bounds []float64) *Histogram {
@@ -48,9 +61,10 @@ func newHistogram(on *atomic.Bool, bounds []float64) *Histogram {
 		}
 	}
 	h := &Histogram{
-		on:      on,
-		bounds:  bounds,
-		buckets: make([]atomic.Uint64, len(bounds)+1),
+		on:        on,
+		bounds:    bounds,
+		buckets:   make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 	h.minBits.Store(math.Float64bits(math.Inf(1)))
 	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
@@ -59,15 +73,38 @@ func newHistogram(on *atomic.Bool, bounds []float64) *Histogram {
 
 // Observe records one value; a single atomic load when disabled. NaN is
 // ignored (a NaN observation would poison sum and quantiles).
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveEx(v, "") }
+
+// ObserveEx is Observe plus an exemplar: the value is attributed to the
+// given trace ID, replacing the bucket's previous exemplar. An empty
+// traceID records no exemplar (and allocates nothing), so untraced call
+// sites pay the plain Observe cost.
+func (h *Histogram) ObserveEx(v float64, traceID string) {
 	if !h.on.Load() || math.IsNaN(v) {
 		return
 	}
-	h.buckets[h.bucketOf(v)].Add(1)
+	i := h.bucketOf(v)
+	h.buckets[i].Add(1)
 	h.count.Add(1)
 	atomicAddFloat(&h.sumBits, v)
 	atomicMinFloat(&h.minBits, v)
 	atomicMaxFloat(&h.maxBits, v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, TS: time.Now()})
+	}
+}
+
+// bucketState reads the per-bucket counts and exemplars for exposition.
+// The counts are non-cumulative (WriteOpenMetrics accumulates them into
+// the le-convention on the way out).
+func (h *Histogram) bucketState() (bounds []float64, counts []uint64, ex []*Exemplar) {
+	counts = make([]uint64, len(h.buckets))
+	ex = make([]*Exemplar, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		ex[i] = h.exemplars[i].Load()
+	}
+	return h.bounds, counts, ex
 }
 
 // bucketOf returns the index of the bucket v falls into (binary search
@@ -85,16 +122,70 @@ func (h *Histogram) bucketOf(v float64) int {
 	return lo
 }
 
-// HistSnapshot is the serializable state of one histogram.
+// HistSnapshot is the serializable state of one histogram. Bounds and
+// Buckets expose the raw (non-cumulative) bucket layout so consumers like
+// prismobs can compute their own quantiles and compliance fractions from
+// a snapshot; buckets that never fired are elided from neither (the
+// arrays stay index-aligned).
 type HistSnapshot struct {
-	Count uint64  `json:"count"`
-	Sum   float64 `json:"sum"`
-	Mean  float64 `json:"mean"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	P50   float64 `json:"p50"`
-	P90   float64 `json:"p90"`
-	P99   float64 `json:"p99"`
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Mean    float64   `json:"mean"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	P50     float64   `json:"p50"`
+	P90     float64   `json:"p90"`
+	P99     float64   `json:"p99"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []uint64  `json:"buckets,omitempty"`
+}
+
+// Compliance returns the estimated fraction of observations at or below
+// the threshold — the latency-SLO numerator — interpolating inside the
+// containing bucket like the quantile estimator does.
+func (s HistSnapshot) Compliance(threshold float64) float64 {
+	if s.Count == 0 {
+		return 1
+	}
+	if len(s.Bounds) == 0 || len(s.Buckets) != len(s.Bounds)+1 {
+		// Snapshot without bucket detail: fall back to a coarse answer
+		// from the pinned quantiles.
+		switch {
+		case threshold >= s.Max:
+			return 1
+		case threshold >= s.P99:
+			return 0.99
+		case threshold >= s.P90:
+			return 0.90
+		case threshold >= s.P50:
+			return 0.50
+		default:
+			return 0
+		}
+	}
+	var below float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		lower := s.Min
+		if i > 0 && s.Bounds[i-1] > lower {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Max
+		if i < len(s.Bounds) && s.Bounds[i] < upper {
+			upper = s.Bounds[i]
+		}
+		switch {
+		case threshold >= upper:
+			below += float64(c)
+		case threshold <= lower:
+			// none of this bucket qualifies
+		default:
+			below += float64(c) * (threshold - lower) / (upper - lower)
+		}
+	}
+	return below / float64(s.Count)
 }
 
 // Snapshot summarizes the histogram: count, sum, mean, min/max and
@@ -110,6 +201,8 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	if total == 0 {
 		return s
 	}
+	s.Bounds = append([]float64(nil), h.bounds...)
+	s.Buckets = counts
 	s.Sum = math.Float64frombits(h.sumBits.Load())
 	s.Mean = s.Sum / float64(total)
 	s.Min = math.Float64frombits(h.minBits.Load())

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantileEmpty pins the degenerate inputs: an empty
+// histogram has no quantiles (NaN, not zero — zero is a legitimate
+// latency) and full compliance (no observation violated anything).
+func TestHistogramQuantileEmpty(t *testing.T) {
+	r := New()
+	h := r.Histogram("empty")
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("Quantile(%v) on empty = %v, want NaN", q, got)
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != 0 {
+		t.Fatalf("count = %d, want 0", s.Count)
+	}
+	if got := s.Compliance(0.1); got != 1 {
+		t.Errorf("empty Compliance = %v, want 1", got)
+	}
+}
+
+// TestHistogramQuantileSingle: with one observation every quantile is that
+// observation — interpolation must clamp to observed min == max.
+func TestHistogramQuantileSingle(t *testing.T) {
+	r := New()
+	h := r.Histogram("single")
+	h.Observe(0.037)
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 0.037 {
+			t.Errorf("Quantile(%v) = %v, want 0.037", q, got)
+		}
+	}
+	s := h.Snapshot()
+	if s.P50 != 0.037 || s.P99 != 0.037 {
+		t.Errorf("snapshot quantiles = %v/%v, want 0.037", s.P50, s.P99)
+	}
+	if got := s.Compliance(0.037); got != 1 {
+		t.Errorf("Compliance(at value) = %v, want 1", got)
+	}
+	if got := s.Compliance(0.01); got != 0 {
+		t.Errorf("Compliance(below min) = %v, want 0", got)
+	}
+}
+
+// TestHistogramQuantileOneBucket: when every observation lands in one
+// bucket, quantiles interpolate between the observed min and max, never
+// outside them.
+func TestHistogramQuantileOneBucket(t *testing.T) {
+	r := New()
+	h := r.HistogramWithBounds("onebucket", []float64{1, 10})
+	// All in the (1, 10] bucket.
+	for _, v := range []float64{2, 3, 4, 5, 6} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		got := h.Quantile(q)
+		if got < 2 || got > 6 {
+			t.Errorf("Quantile(%v) = %v, outside observed [2, 6]", q, got)
+		}
+	}
+	if got := h.Quantile(0); got != 2 {
+		t.Errorf("Quantile(0) = %v, want min 2", got)
+	}
+	if got := h.Quantile(1); got != 6 {
+		t.Errorf("Quantile(1) = %v, want max 6", got)
+	}
+	s := h.Snapshot()
+	if got := s.Compliance(10); got != 1 {
+		t.Errorf("Compliance(>=max) = %v, want 1", got)
+	}
+	if got := s.Compliance(1); got != 0 {
+		t.Errorf("Compliance(<min) = %v, want 0", got)
+	}
+	// Threshold mid-bucket: interpolated, strictly between 0 and 1.
+	if got := s.Compliance(4); got <= 0 || got >= 1 {
+		t.Errorf("Compliance(mid) = %v, want in (0,1)", got)
+	}
+}
+
+// TestComplianceWithoutBucketDetail covers the coarse fallback for
+// snapshots that carry only the pinned quantiles (older artifacts).
+func TestComplianceWithoutBucketDetail(t *testing.T) {
+	s := HistSnapshot{Count: 100, Min: 0.01, Max: 2, P50: 0.1, P90: 0.5, P99: 1}
+	cases := []struct {
+		threshold, want float64
+	}{
+		{2.5, 1}, {1.5, 0.99}, {0.7, 0.90}, {0.2, 0.50}, {0.05, 0},
+	}
+	for _, c := range cases {
+		if got := s.Compliance(c.threshold); got != c.want {
+			t.Errorf("Compliance(%v) = %v, want %v", c.threshold, got, c.want)
+		}
+	}
+}
+
+// TestHistogramExemplars: traced observations land as last-write-wins
+// per-bucket exemplars; untraced ones record nothing.
+func TestHistogramExemplars(t *testing.T) {
+	r := New()
+	h := r.HistogramWithBounds("ex", []float64{1, 10})
+	h.ObserveEx(0.5, "trace-a")
+	h.ObserveEx(0.7, "trace-b") // same bucket: replaces trace-a
+	h.ObserveEx(5, "trace-c")
+	h.Observe(7) // untraced: must not disturb trace-c
+	_, counts, ex := h.bucketState()
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if ex[0] == nil || ex[0].TraceID != "trace-b" || ex[0].Value != 0.7 {
+		t.Errorf("bucket 0 exemplar = %+v, want trace-b@0.7", ex[0])
+	}
+	if ex[1] == nil || ex[1].TraceID != "trace-c" {
+		t.Errorf("bucket 1 exemplar = %+v, want trace-c", ex[1])
+	}
+	if ex[2] != nil {
+		t.Errorf("overflow bucket exemplar = %+v, want none", ex[2])
+	}
+}
+
+// TestNewTraceID pins shape and uniqueness: 32 hex chars, distinct across
+// calls (the counter mixes in even within one nanosecond tick).
+func TestNewTraceID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 32 {
+			t.Fatalf("trace ID %q has length %d, want 32", id, len(id))
+		}
+		for _, c := range id {
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+				t.Fatalf("trace ID %q has non-hex rune %q", id, c)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}

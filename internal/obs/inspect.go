@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the consumption half of the journal: pure functions over
+// parsed events and snapshots that cmd/prismobs (and tests) use to answer
+// "which stage ate this request's p99", "is the run on track" and "is the
+// SLO burning". Nothing here ever feeds values back into the pipeline —
+// it reads operator artifacts and renders text.
+
+// TraceRec is one parsed "trace" journal event: a request's identity,
+// outcome and per-stage latency decomposition in seconds.
+type TraceRec struct {
+	ID      string
+	Session string
+	Outcome string
+	Reason  string
+	TotalS  float64
+	Stages  map[string]float64 // stage name (no _s suffix) -> seconds
+}
+
+// ExtractTraces pulls the trace events out of a journal. Any field ending
+// in "_s" except total_s is a stage duration, so serve-side traces
+// (decode/queue/breaker/infer/encode) and client-side ones (request) both
+// parse without a schema.
+func ExtractTraces(events []Event) []TraceRec {
+	var out []TraceRec
+	for _, ev := range events {
+		if ev.Name != "trace" {
+			continue
+		}
+		tr := TraceRec{Stages: map[string]float64{}}
+		for k, v := range ev.Fields {
+			switch k {
+			case "trace":
+				tr.ID, _ = v.(string)
+			case "session":
+				tr.Session, _ = v.(string)
+			case "outcome":
+				tr.Outcome, _ = v.(string)
+			case "reason":
+				tr.Reason, _ = v.(string)
+			case "total_s":
+				tr.TotalS, _ = v.(float64)
+			default:
+				if f, ok := v.(float64); ok && strings.HasSuffix(k, "_s") {
+					tr.Stages[strings.TrimSuffix(k, "_s")] = f
+				}
+			}
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// StageStat is one row of a blame table: exact (sort-based, not bucketed)
+// percentiles of a stage's duration plus its share of total request time.
+type StageStat struct {
+	Stage            string
+	Count            int
+	P50S, P95S, P99S float64
+	MeanS, SumS      float64
+	Share            float64 // SumS / sum of total_s
+}
+
+// Blame decomposes the traces stage by stage: for each stage, exact
+// p50/p95/p99 over every request that recorded it, plus the stage's share
+// of the summed request time. The final row, "total", is the end-to-end
+// request latency. Stages are ordered by their summed time, heaviest
+// first — the blame order.
+func Blame(traces []TraceRec) []StageStat {
+	byStage := map[string][]float64{}
+	var totals []float64
+	var totalSum float64
+	for _, tr := range traces {
+		for st, d := range tr.Stages {
+			byStage[st] = append(byStage[st], d)
+		}
+		totals = append(totals, tr.TotalS)
+		totalSum += tr.TotalS
+	}
+	var out []StageStat
+	for st, vals := range byStage {
+		out = append(out, stageStat(st, vals, totalSum))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SumS != out[j].SumS {
+			return out[i].SumS > out[j].SumS
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	if len(totals) > 0 {
+		out = append(out, stageStat("total", totals, totalSum))
+	}
+	return out
+}
+
+func stageStat(name string, vals []float64, totalSum float64) StageStat {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	st := StageStat{
+		Stage: name, Count: len(sorted),
+		P50S: exactPercentile(sorted, 0.50),
+		P95S: exactPercentile(sorted, 0.95),
+		P99S: exactPercentile(sorted, 0.99),
+		SumS: sum,
+	}
+	if len(sorted) > 0 {
+		st.MeanS = sum / float64(len(sorted))
+	}
+	if totalSum > 0 {
+		st.Share = sum / totalSum
+	}
+	return st
+}
+
+// exactPercentile indexes a sorted slice the same way prismload's ad-hoc
+// report always has, so client and journal numbers agree.
+func exactPercentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+// SLOReport grades a run against an availability objective and a latency
+// target. Burn rate is the standard SRE ratio: the fraction of the error
+// budget consumed per unit of traffic — 1.0 means exactly on budget,
+// above it the budget is burning.
+type SLOReport struct {
+	Total, Good      int
+	Availability     float64
+	Objective        float64
+	AvailabilityBurn float64
+	LatencyTargetS   float64
+	LatencyOK        float64 // fraction of answered requests within target
+	LatencyBurn      float64
+}
+
+// SLOFromTraces grades journal traces: a request is "good" when its
+// outcome is ok or warmup (degraded, shed, rejected and unavailable all
+// spend error budget), and latency compliance is the fraction of requests
+// whose total time met the target.
+func SLOFromTraces(traces []TraceRec, objective, latencyTargetS float64) SLOReport {
+	rep := SLOReport{Objective: objective, LatencyTargetS: latencyTargetS}
+	var withinLatency int
+	for _, tr := range traces {
+		rep.Total++
+		if tr.Outcome == "ok" || tr.Outcome == "warmup" {
+			rep.Good++
+		}
+		if tr.TotalS <= latencyTargetS {
+			withinLatency++
+		}
+	}
+	if rep.Total == 0 {
+		rep.Availability, rep.LatencyOK = 1, 1
+		return rep
+	}
+	rep.Availability = float64(rep.Good) / float64(rep.Total)
+	rep.LatencyOK = float64(withinLatency) / float64(rep.Total)
+	rep.AvailabilityBurn = burnRate(rep.Availability, objective)
+	rep.LatencyBurn = burnRate(rep.LatencyOK, objective)
+	return rep
+}
+
+// SLOFromSnapshot grades a live /metrics snapshot using the serve
+// counters (serve.ok + serve.warmup over serve.requests) and the
+// serve.latency_s histogram's bucket-interpolated compliance.
+func SLOFromSnapshot(s Snapshot, objective, latencyTargetS float64) SLOReport {
+	rep := SLOReport{Objective: objective, LatencyTargetS: latencyTargetS}
+	rep.Total = int(s.Counters["serve.requests"])
+	rep.Good = int(s.Counters["serve.ok"] + s.Counters["serve.warmup"])
+	if rep.Total == 0 {
+		rep.Availability, rep.LatencyOK = 1, 1
+		return rep
+	}
+	rep.Availability = float64(rep.Good) / float64(rep.Total)
+	rep.AvailabilityBurn = burnRate(rep.Availability, objective)
+	rep.LatencyOK = s.Histograms["serve.latency_s"].Compliance(latencyTargetS)
+	rep.LatencyBurn = burnRate(rep.LatencyOK, objective)
+	return rep
+}
+
+func burnRate(compliance, objective float64) float64 {
+	budget := 1 - objective
+	if budget <= 0 {
+		if compliance >= 1 {
+			return 0
+		}
+		return 1e9 // a zero error budget burns infinitely on any error
+	}
+	return (1 - compliance) / budget
+}
+
+// HistDelta is one histogram's movement between two snapshots.
+type HistDelta struct {
+	Name   string
+	DCount uint64
+	DSumS  float64
+	MeanS  float64 // mean of the new observations in the interval
+}
+
+// TopDelta diffs two snapshots histogram by histogram and returns the
+// families that moved, heaviest added time first — the between-scrapes
+// "top" view of where wall-clock is going right now.
+func TopDelta(prev, cur Snapshot) []HistDelta {
+	var out []HistDelta
+	for name, ch := range cur.Histograms {
+		ph := prev.Histograms[name] // zero value when absent
+		if ch.Count <= ph.Count {
+			continue
+		}
+		d := HistDelta{Name: name, DCount: ch.Count - ph.Count, DSumS: ch.Sum - ph.Sum}
+		d.MeanS = d.DSumS / float64(d.DCount)
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DSumS != out[j].DSumS {
+			return out[i].DSumS > out[j].DSumS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// FormatEvent renders one journal event as a human tail line. Progress
+// events from long runs (grid.progress, pop.progress) get a live
+// done/total + ETA rendering; traces and spans get compact latency lines;
+// everything else falls back to "ev k=v ...".
+func FormatEvent(ev Event) string {
+	ts := ev.TS.Format("15:04:05.000")
+	switch ev.Name {
+	case "grid.progress":
+		return fmt.Sprintf("%s grid %v %v/%v cells (%v cached) eta %ss",
+			ts, ev.Fields["grid"], num(ev.Fields["done"]), num(ev.Fields["total"]),
+			num(ev.Fields["cached"]), num(ev.Fields["eta_s"]))
+	case "pop.progress":
+		return fmt.Sprintf("%s pop shard %v/%v, %v/%v UEs, eta %ss",
+			ts, num(ev.Fields["shards_done"]), num(ev.Fields["shards"]),
+			num(ev.Fields["ues"]), num(ev.Fields["population"]), num(ev.Fields["eta_s"]))
+	case "trace":
+		id, _ := ev.Fields["trace"].(string)
+		if len(id) > 8 {
+			id = id[:8]
+		}
+		total, _ := ev.Fields["total_s"].(float64)
+		return fmt.Sprintf("%s trace %s outcome=%v total=%.1fms infer=%.1fms queue=%.1fms",
+			ts, id, ev.Fields["outcome"], total*1e3,
+			msField(ev.Fields, "infer_s"), msField(ev.Fields, "queue_s"))
+	case "span":
+		dur, _ := ev.Fields["dur_s"].(float64)
+		return fmt.Sprintf("%s span %v %.1fms", ts, ev.Fields["name"], dur*1e3)
+	case "journal.truncated":
+		return fmt.Sprintf("%s journal truncated at %v bytes (budget %v)",
+			ts, num(ev.Fields["written_bytes"]), num(ev.Fields["budget_bytes"]))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", ts, ev.Name)
+	for _, k := range sortedKeys(ev.Fields) {
+		fmt.Fprintf(&b, " %s=%v", k, ev.Fields[k])
+	}
+	return b.String()
+}
+
+// num renders a journal number (float64 after JSON round-trip) without a
+// trailing .0 when it is integral.
+func num(v any) string {
+	f, ok := v.(float64)
+	if !ok {
+		return fmt.Sprintf("%v", v)
+	}
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%.1f", f)
+}
+
+func msField(fields map[string]any, key string) float64 {
+	f, _ := fields[key].(float64)
+	return f * 1e3
+}

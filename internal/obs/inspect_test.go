@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func traceEvent(outcome string, total float64, stages map[string]float64) Event {
+	f := map[string]any{"trace": NewTraceID(), "session": "ue-0001",
+		"outcome": outcome, "total_s": total}
+	for k, v := range stages {
+		f[k+"_s"] = v
+	}
+	return Event{TS: time.Now(), Name: "trace", Fields: f}
+}
+
+// TestExtractTraces: only trace events parse, every _s field except
+// total_s is a stage, and identity fields land where they belong.
+func TestExtractTraces(t *testing.T) {
+	events := []Event{
+		{Name: "serve.start", Fields: map[string]any{"addr": "x"}},
+		traceEvent("ok", 0.010, map[string]float64{"infer": 0.007, "decode": 0.001}),
+		traceEvent("shed", 0.002, map[string]float64{"queue": 0.002}),
+	}
+	traces := ExtractTraces(events)
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	tr := traces[0]
+	if tr.Outcome != "ok" || tr.Session != "ue-0001" || tr.ID == "" {
+		t.Fatalf("identity lost: %+v", tr)
+	}
+	if tr.TotalS != 0.010 {
+		t.Fatalf("total = %v", tr.TotalS)
+	}
+	if tr.Stages["infer"] != 0.007 || tr.Stages["decode"] != 0.001 {
+		t.Fatalf("stages = %v", tr.Stages)
+	}
+	if _, ok := tr.Stages["total"]; ok {
+		t.Fatal("total_s must not be a stage")
+	}
+}
+
+// TestBlame checks the decomposition on hand-computable data: ordering by
+// summed time, exact percentiles, shares against the summed total.
+func TestBlame(t *testing.T) {
+	var events []Event
+	for i := 1; i <= 100; i++ {
+		d := float64(i) / 1000 // 1ms..100ms
+		events = append(events, traceEvent("ok", d+0.001,
+			map[string]float64{"infer": d, "decode": 0.001}))
+	}
+	stats := Blame(ExtractTraces(events))
+	if len(stats) != 3 {
+		t.Fatalf("got %d rows, want infer, decode, total", len(stats))
+	}
+	if stats[0].Stage != "infer" || stats[1].Stage != "decode" {
+		t.Fatalf("order = %s, %s; want heaviest first", stats[0].Stage, stats[1].Stage)
+	}
+	if stats[len(stats)-1].Stage != "total" {
+		t.Fatal("last row must be total")
+	}
+	infer := stats[0]
+	if infer.Count != 100 {
+		t.Fatalf("infer count = %d", infer.Count)
+	}
+	// exactPercentile indexes int(p*(n-1)): p50 -> vals[49] = 50ms.
+	if math.Abs(infer.P50S-0.050) > 1e-12 {
+		t.Errorf("p50 = %v, want 0.050", infer.P50S)
+	}
+	if math.Abs(infer.P99S-0.099) > 1e-12 {
+		t.Errorf("p99 = %v, want 0.099", infer.P99S)
+	}
+	if math.Abs(infer.MeanS-0.0505) > 1e-12 {
+		t.Errorf("mean = %v, want 0.0505", infer.MeanS)
+	}
+	wantShare := 5.05 / (5.05 + 0.1)
+	if math.Abs(infer.Share-wantShare) > 1e-9 {
+		t.Errorf("share = %v, want %v", infer.Share, wantShare)
+	}
+	if Blame(nil) != nil {
+		t.Error("Blame(nil) must be empty")
+	}
+}
+
+func TestBlameSingleTrace(t *testing.T) {
+	stats := Blame(ExtractTraces([]Event{
+		traceEvent("ok", 0.02, map[string]float64{"infer": 0.02}),
+	}))
+	if len(stats) != 2 {
+		t.Fatalf("rows = %d, want 2", len(stats))
+	}
+	if stats[0].P50S != 0.02 || stats[0].P99S != 0.02 || stats[0].MeanS != 0.02 {
+		t.Fatalf("single-value percentiles = %+v", stats[0])
+	}
+}
+
+// TestSLOFromTraces: 9 good of 10 at objective 90% is exactly on budget
+// (burn 1.0); ok and warmup are good, everything else burns.
+func TestSLOFromTraces(t *testing.T) {
+	var events []Event
+	for i := 0; i < 8; i++ {
+		events = append(events, traceEvent("ok", 0.01, nil))
+	}
+	events = append(events, traceEvent("warmup", 0.01, nil))
+	events = append(events, traceEvent("shed", 0.9, nil))
+	rep := SLOFromTraces(ExtractTraces(events), 0.90, 0.1)
+	if rep.Total != 10 || rep.Good != 9 {
+		t.Fatalf("total/good = %d/%d", rep.Total, rep.Good)
+	}
+	if math.Abs(rep.Availability-0.9) > 1e-12 || math.Abs(rep.AvailabilityBurn-1.0) > 1e-9 {
+		t.Fatalf("availability %v burn %v, want 0.9 / 1.0", rep.Availability, rep.AvailabilityBurn)
+	}
+	if math.Abs(rep.LatencyOK-0.9) > 1e-12 {
+		t.Fatalf("latencyOK = %v, want 0.9 (one request above 100ms)", rep.LatencyOK)
+	}
+	empty := SLOFromTraces(nil, 0.999, 0.1)
+	if empty.Availability != 1 || empty.LatencyOK != 1 {
+		t.Fatalf("empty SLO must default to compliant: %+v", empty)
+	}
+}
+
+// TestSLOFromSnapshot grades from counters + bucketed latency histogram,
+// the live-scrape path.
+func TestSLOFromSnapshot(t *testing.T) {
+	r := New()
+	r.Add("serve.requests", 100)
+	r.Add("serve.ok", 95)
+	r.Add("serve.warmup", 4)
+	h := r.Histogram("serve.latency_s")
+	for i := 0; i < 99; i++ {
+		h.Observe(0.01)
+	}
+	h.Observe(10)
+	rep := SLOFromSnapshot(r.Snapshot(), 0.99, 0.25)
+	if rep.Total != 100 || rep.Good != 99 {
+		t.Fatalf("total/good = %d/%d", rep.Total, rep.Good)
+	}
+	if math.Abs(rep.AvailabilityBurn-1.0) > 1e-9 {
+		t.Fatalf("availability burn = %v, want 1.0", rep.AvailabilityBurn)
+	}
+	if rep.LatencyOK < 0.98 || rep.LatencyOK > 0.995 {
+		t.Fatalf("latencyOK = %v, want ~0.99", rep.LatencyOK)
+	}
+}
+
+func TestBurnRateZeroBudget(t *testing.T) {
+	if got := burnRate(1, 1); got != 0 {
+		t.Errorf("perfect compliance at zero budget = %v, want 0", got)
+	}
+	if got := burnRate(0.999, 1); got < 1e6 {
+		t.Errorf("any error at zero budget must burn huge, got %v", got)
+	}
+}
+
+// TestTopDelta diffs snapshots: only moved histograms appear, heaviest
+// added wall-clock first, and the mean covers the interval only.
+func TestTopDelta(t *testing.T) {
+	r := New()
+	r.Observe("a", 1)
+	r.Observe("b", 1)
+	prev := r.Snapshot()
+	r.Observe("a", 3)   // +1 obs, +3s
+	r.Observe("c", 0.5) // new in cur
+	cur := r.Snapshot()
+	deltas := TopDelta(prev, cur)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2 (b must not appear): %+v", len(deltas), deltas)
+	}
+	if deltas[0].Name != "a" || deltas[0].DCount != 1 || deltas[0].DSumS != 3 {
+		t.Fatalf("delta[0] = %+v", deltas[0])
+	}
+	if deltas[0].MeanS != 3 {
+		t.Fatalf("interval mean = %v, want 3 (not the lifetime mean 2)", deltas[0].MeanS)
+	}
+	if deltas[1].Name != "c" || deltas[1].DCount != 1 {
+		t.Fatalf("delta[1] = %+v", deltas[1])
+	}
+}
+
+func TestFormatEvent(t *testing.T) {
+	ts := time.Date(2026, 8, 8, 12, 30, 45, int(123*time.Millisecond), time.UTC)
+	cases := []struct {
+		ev   Event
+		want []string
+	}{
+		{Event{TS: ts, Name: "grid.progress", Fields: map[string]any{
+			"grid": "sweep", "done": 7.0, "total": 24.0, "cached": 3.0, "eta_s": 11.5}},
+			[]string{"12:30:45.123", "grid sweep 7/24 cells", "(3 cached)", "eta 11.5s"}},
+		{Event{TS: ts, Name: "pop.progress", Fields: map[string]any{
+			"shards_done": 2.0, "shards": 8.0, "ues": 250.0, "population": 1000.0, "eta_s": 30.0}},
+			[]string{"pop shard 2/8", "250/1000 UEs", "eta 30s"}},
+		{Event{TS: ts, Name: "trace", Fields: map[string]any{
+			"trace": "deadbeefdeadbeef", "outcome": "ok", "total_s": 0.0123,
+			"infer_s": 0.01, "queue_s": 0.001}},
+			[]string{"trace deadbeef", "outcome=ok", "total=12.3ms", "infer=10.0ms"}},
+		{Event{TS: ts, Name: "journal.truncated", Fields: map[string]any{
+			"written_bytes": 1000.0, "budget_bytes": 1024.0}},
+			[]string{"journal truncated at 1000 bytes", "budget 1024"}},
+		{Event{TS: ts, Name: "custom.ev", Fields: map[string]any{"b": 2.0, "a": "x"}},
+			[]string{"custom.ev a=x b=2"}},
+	}
+	for _, c := range cases {
+		got := FormatEvent(c.ev)
+		for _, w := range c.want {
+			if !strings.Contains(got, w) {
+				t.Errorf("FormatEvent(%s) = %q, missing %q", c.ev.Name, got, w)
+			}
+		}
+	}
+}

@@ -24,19 +24,45 @@ type Event struct {
 
 // Journal streams events as JSON lines to a writer. Writes are serialized
 // with a mutex and buffered; call Flush (or Close via the CLI helper) to
-// drain the buffer.
+// drain the buffer. An optional byte budget (SetMaxBytes) caps growth: the
+// event that would exceed it is replaced by a final "journal.truncated"
+// sentinel and every later event is dropped, so a long-running server with
+// -journal can never fill the disk unbounded.
 type Journal struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	enc *json.Encoder
-	err error // first write error; later events are dropped
-	now func() time.Time
+	mu        sync.Mutex
+	bw        *bufio.Writer
+	err       error // first write error; later events are dropped
+	now       func() time.Time
+	maxBytes  int64 // 0 = unbounded
+	written   int64
+	truncated bool
 }
 
-// NewJournal wraps w in a buffered JSON-lines event sink.
+// NewJournal wraps w in a buffered JSON-lines event sink with no byte
+// budget.
 func NewJournal(w io.Writer) *Journal {
-	bw := bufio.NewWriter(w)
-	return &Journal{bw: bw, enc: json.NewEncoder(bw), now: time.Now}
+	return &Journal{bw: bufio.NewWriter(w), now: time.Now}
+}
+
+// SetMaxBytes installs the growth budget (0 restores unbounded). The
+// budget counts encoded bytes including the final sentinel's line.
+func (j *Journal) SetMaxBytes(n int64) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.maxBytes = n
+}
+
+// Truncated reports whether the journal hit its byte budget and stopped.
+func (j *Journal) Truncated() bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.truncated
 }
 
 // wireEvent is the flattened on-disk form: reserved keys plus the event's
@@ -45,14 +71,17 @@ func NewJournal(w io.Writer) *Journal {
 type wireEvent map[string]any
 
 // Write appends one event line. Errors are sticky and silent (telemetry
-// must never take down the pipeline); Flush reports the first one.
+// must never take down the pipeline); Flush reports the first one. Once
+// the byte budget is hit the journal is sticky-stopped: a final
+// "journal.truncated" event records how much was written and later events
+// are dropped.
 func (j *Journal) Write(name string, fields map[string]any) {
 	if j == nil {
 		return
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.err != nil {
+	if j.err != nil || j.truncated {
 		return
 	}
 	ev := wireEvent{"ts": j.now().UTC().Format(time.RFC3339Nano), "ev": name}
@@ -61,9 +90,36 @@ func (j *Journal) Write(name string, fields map[string]any) {
 			ev[k] = v
 		}
 	}
-	if err := j.enc.Encode(ev); err != nil {
+	line, err := json.Marshal(ev)
+	if err != nil {
 		j.err = err
+		return
 	}
+	line = append(line, '\n')
+	if j.maxBytes > 0 && j.written+int64(len(line)) > j.maxBytes {
+		// The sentinel replaces the event that broke the budget; it may
+		// itself nudge past maxBytes by one short line, which is the
+		// price of always marking truncation on disk.
+		j.truncated = true
+		sent, err := json.Marshal(wireEvent{
+			"ts": j.now().UTC().Format(time.RFC3339Nano), "ev": "journal.truncated",
+			"written_bytes": j.written, "budget_bytes": j.maxBytes,
+		})
+		if err == nil {
+			sent = append(sent, '\n')
+			if _, werr := j.bw.Write(sent); werr != nil {
+				j.err = werr
+				return
+			}
+			j.written += int64(len(sent))
+		}
+		return
+	}
+	if _, werr := j.bw.Write(line); werr != nil {
+		j.err = werr
+		return
+	}
+	j.written += int64(len(line))
 }
 
 // Flush drains the buffer and returns the first write error, if any.

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestJournalMaxBytesStickyStop drives the byte budget: once the next
+// event would exceed it, a single journal.truncated sentinel is written,
+// every later event is dropped, and the stop is sticky.
+func TestJournalMaxBytesStickyStop(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.SetMaxBytes(600)
+	for i := 0; i < 100; i++ {
+		j.Write("fill", map[string]any{"i": i, "pad": strings.Repeat("x", 40)})
+	}
+	if !j.Truncated() {
+		t.Fatal("journal must report truncation")
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	evs, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("truncated journal must stay parseable: %v", err)
+	}
+	if len(evs) == 0 || len(evs) == 100 {
+		t.Fatalf("got %d events, want some but not all", len(evs))
+	}
+	last := evs[len(evs)-1]
+	if last.Name != "journal.truncated" {
+		t.Fatalf("last event = %q, want journal.truncated", last.Name)
+	}
+	if last.Fields["budget_bytes"].(float64) != 600 {
+		t.Fatalf("sentinel fields = %v", last.Fields)
+	}
+	for _, ev := range evs[:len(evs)-1] {
+		if ev.Name != "fill" {
+			t.Fatalf("unexpected event %q before sentinel", ev.Name)
+		}
+	}
+	// The sentinel may exceed the budget by its own line, never more.
+	if int64(buf.Len()) > 600+200 {
+		t.Fatalf("journal is %d bytes, far past its 600-byte budget", buf.Len())
+	}
+}
+
+// TestJournalParallelWriteIntegrity hammers Write from many goroutines and
+// asserts line-level integrity: exactly one JSON object per line, no
+// interleaving, no lost events.
+func TestJournalParallelWriteIntegrity(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	const goroutines, perG = 16, 500
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				j.Write("par", map[string]any{"g": g, "i": i, "s": fmt.Sprintf("ue-%04d", i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := j.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(buf.Bytes(), []byte("\n")), []byte("\n"))
+	if len(lines) != goroutines*perG {
+		t.Fatalf("got %d lines, want %d", len(lines), goroutines*perG)
+	}
+	perGoroutine := map[int]int{}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("line %q not standalone JSON: %v", line, err)
+		}
+		if m["ev"] != "par" {
+			t.Fatalf("event name corrupted: %v", m["ev"])
+		}
+		perGoroutine[int(m["g"].(float64))]++
+	}
+	for g := 0; g < goroutines; g++ {
+		if perGoroutine[g] != perG {
+			t.Fatalf("goroutine %d has %d events, want %d", g, perGoroutine[g], perG)
+		}
+	}
+}
+
+// TestJournalReservedKeys: a field named ts or ev must not clobber the
+// envelope.
+func TestJournalReservedKeys(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Write("real", map[string]any{"ev": "fake", "ts": "fake", "k": 1})
+	if err := j.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	evs, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("read: %v %v", evs, err)
+	}
+	if evs[0].Name != "real" || evs[0].TS.IsZero() {
+		t.Fatalf("envelope clobbered: %+v", evs[0])
+	}
+	if evs[0].Fields["k"].(float64) != 1 {
+		t.Fatalf("fields lost: %v", evs[0].Fields)
+	}
+}

@@ -142,6 +142,14 @@ func (r *Registry) Observe(name string, v float64) {
 	r.Histogram(name).Observe(v)
 }
 
+// ObserveEx records v with an exemplar trace ID (no-op while disabled).
+func (r *Registry) ObserveEx(name string, v float64, traceID string) {
+	if !r.Enabled() {
+		return
+	}
+	r.Histogram(name).ObserveEx(v, traceID)
+}
+
 // Counter is a monotonically adjustable integer metric.
 type Counter struct {
 	on *atomic.Bool
@@ -287,6 +295,10 @@ func Set(name string, v float64) { Default().Set(name, v) }
 
 // Observe records a histogram observation on the default registry.
 func Observe(name string, v float64) { Default().Observe(name, v) }
+
+// ObserveEx records a histogram observation with an exemplar trace ID on
+// the default registry.
+func ObserveEx(name string, v float64, traceID string) { Default().ObserveEx(name, v, traceID) }
 
 // Emit writes a journal event on the default registry.
 func Emit(event string, fields map[string]any) { Default().Emit(event, fields) }

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteOpenMetrics renders the registry in the OpenMetrics text exposition
+// format (the Prometheus scrape wire format, application/openmetrics-text
+// version 1.0.0), so a real monitoring stack can scrape prismserve:
+//
+//   - counters become <name>_total samples under a counter family,
+//   - gauges map one-to-one,
+//   - histograms expose cumulative le-buckets, _sum and _count, with the
+//     most recent traced observation per bucket attached as an exemplar
+//     ("# {trace_id=...} value ts"), which is how a dashboard's p99 bucket
+//     links back to a concrete X-Prism-Trace request.
+//
+// Instrument names are sanitized to the [a-zA-Z_:][a-zA-Z0-9_:]* charset
+// (dots, dashes and slashes become underscores); when two names collide
+// after sanitizing, the lexicographically first wins and later ones are
+// skipped — exposition must stay parseable above all. Instruments that
+// never recorded are omitted, matching Snapshot. The output always ends
+// with the mandatory "# EOF" marker.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	seen := map[string]bool{}
+	emit := func(name string) (string, bool) {
+		s := sanitizeMetricName(name)
+		if seen[s] {
+			return "", false
+		}
+		seen[s] = true
+		return s, true
+	}
+
+	for _, name := range sortedKeys(counters) {
+		v := counters[name].Value()
+		if v == 0 {
+			continue
+		}
+		fam, ok := emit(strings.TrimSuffix(sanitizeMetricName(name), "_total"))
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s_total %d\n", fam, fam, v)
+	}
+	for _, name := range sortedKeys(gauges) {
+		v, ok := gauges[name].Value()
+		if !ok {
+			continue
+		}
+		fam, ok := emit(name)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", fam, fam, omFloat(v))
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		bounds, counts, exemplars := h.bucketState()
+		var total uint64
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		fam, ok := emit(name)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", fam)
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < len(bounds) {
+				le = omFloat(bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d", fam, le, cum)
+			if ex := exemplars[i]; ex != nil {
+				fmt.Fprintf(&b, " # {trace_id=%q} %s %s",
+					ex.TraceID, omFloat(ex.Value), omTimestamp(ex.TS))
+			}
+			b.WriteByte('\n')
+		}
+		sum := math.Float64frombits(h.sumBits.Load())
+		fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", fam, omFloat(sum), fam, total)
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sanitizeMetricName maps an instrument name onto the OpenMetrics name
+// charset: every rune outside [a-zA-Z0-9_:] becomes '_', and a leading
+// digit gets a '_' prefix.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// omFloat renders a float the way the exposition format expects: shortest
+// round-trip decimal, with the spec's spellings for the infinities.
+func omFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// omTimestamp renders an exemplar timestamp as unix seconds.
+func omTimestamp(t time.Time) string {
+	return strconv.FormatFloat(float64(t.UnixNano())/1e9, 'f', 3, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestOpenMetricsExposition renders a populated registry and checks the
+// wire format line by line: counter families get _total samples,
+// histograms get cumulative le-buckets with exemplars, and the output ends
+// with the mandatory # EOF marker.
+func TestOpenMetricsExposition(t *testing.T) {
+	r := New()
+	r.Add("serve.requests", 7)
+	r.Add("never.fired", 0) // must be omitted
+	r.Set("queue.depth", 2.5)
+	h := r.HistogramWithBounds("serve.latency_s", []float64{0.1, 1})
+	h.ObserveEx(0.05, "aaaa1111")
+	h.ObserveEx(0.5, "bbbb2222")
+	h.Observe(0.6)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("output must end with # EOF, got tail %q", out[max(0, len(out)-40):])
+	}
+	for _, want := range []string{
+		"# TYPE serve_requests counter\nserve_requests_total 7\n",
+		"# TYPE queue_depth gauge\nqueue_depth 2.5\n",
+		"# TYPE serve_latency_s histogram\n",
+		`serve_latency_s_bucket{le="0.1"} 1`,
+		`serve_latency_s_bucket{le="1"} 3`,
+		`serve_latency_s_bucket{le="+Inf"} 4`,
+		"serve_latency_s_count 4\n",
+		`# {trace_id="aaaa1111"} 0.05`,
+		`# {trace_id="bbbb2222"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "never_fired") {
+		t.Error("never-fired counter must be omitted")
+	}
+	// _sum must carry the true sum.
+	sumLine := lineWithPrefix(t, out, "serve_latency_s_sum ")
+	sum, err := strconv.ParseFloat(strings.TrimPrefix(sumLine, "serve_latency_s_sum "), 64)
+	if err != nil || sum < 6.14 || sum > 6.16 {
+		t.Errorf("sum line %q, want ~6.15", sumLine)
+	}
+}
+
+// TestOpenMetricsParses runs a minimal structural parse over the output:
+// every non-comment line is "name[{labels}] value [# exemplar]" with a
+// legal metric name, bucket counts are monotone, and # EOF is last.
+func TestOpenMetricsParses(t *testing.T) {
+	r := New()
+	r.Add("a.count", 3)
+	r.Add("b-count", 1)
+	r.Set("c/gauge", -1)
+	h := r.Histogram("lat")
+	for i := 0; i < 100; i++ {
+		h.ObserveEx(float64(i)/100, NewTraceID())
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)( # \{[^}]*\} \S+ \S+)?$`)
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if lines[len(lines)-1] != "# EOF" {
+		t.Fatalf("last line = %q, want # EOF", lines[len(lines)-1])
+	}
+	var prevCum uint64
+	var inBuckets string
+	for _, line := range lines[:len(lines)-1] {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 || !nameRe.MatchString(parts[2]) {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		if strings.HasSuffix(m[1], "_bucket") {
+			fam := strings.TrimSuffix(m[1], "_bucket")
+			cum, err := strconv.ParseUint(m[3], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket count %q not an integer", m[3])
+			}
+			if fam != inBuckets {
+				inBuckets, prevCum = fam, 0
+			}
+			if cum < prevCum {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			prevCum = cum
+		}
+	}
+}
+
+// TestOpenMetricsSanitizeCollision: two instruments that sanitize to the
+// same family must not produce a duplicate family (first wins).
+func TestOpenMetricsSanitizeCollision(t *testing.T) {
+	r := New()
+	r.Add("a.b", 1)
+	r.Add("a_b", 2)
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "# TYPE a_b counter"); got != 1 {
+		t.Fatalf("family a_b declared %d times, want 1:\n%s", got, buf.String())
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"serve.latency_s": "serve_latency_s",
+		"9lives":          "_9lives",
+		"a-b/c":           "a_b_c",
+		"":                "_",
+		"ok_name:x":       "ok_name:x",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func lineWithPrefix(t *testing.T, out, prefix string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return line
+		}
+	}
+	t.Fatalf("no line with prefix %q in:\n%s", prefix, out)
+	return ""
+}

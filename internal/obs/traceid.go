@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Trace IDs label one request's telemetry — the X-Prism-Trace response
+// header, the "trace" journal event and histogram exemplars all carry the
+// same ID, so a tail-latency outlier seen on a dashboard can be chased
+// back to its per-stage breakdown in the journal.
+//
+// IDs are deterministic-output-safe by the same rule as the rest of obs:
+// they are derived from the wall clock, the PID and a process-local
+// counter — never from an rng.Source — and they are never fed back into
+// the pipeline, so enabling tracing cannot perturb any experiment
+// artifact (the telemetry-transparency conformance law).
+
+// traceBase is per-process entropy folded into every ID so IDs from
+// different processes (e.g. prismserve and prismload journaling the same
+// run) cannot collide even when their counters align.
+var traceBase = uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32
+
+// traceSeq makes IDs unique within the process.
+var traceSeq atomic.Uint64
+
+// NewTraceID returns a 32-hex-char request ID, unique within the process
+// and collision-resistant across processes.
+func NewTraceID() string {
+	seq := traceSeq.Add(1)
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], traceBase^(seq*0x9e3779b97f4a7c15))
+	binary.BigEndian.PutUint64(b[8:], uint64(time.Now().UnixNano()))
+	return hex.EncodeToString(b[:])
+}

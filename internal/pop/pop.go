@@ -217,6 +217,7 @@ func Build(cfg Config, sink trace.Sink) (Report, error) {
 	rep := Report{Population: cfg.Population, Shards: nShards}
 	var aggSum float64
 	t0 := time.Now()
+	shardsDone := 0
 	err := par.OrderedStream(context.Background(), nShards, cfg.Workers,
 		func(si int) (shardResult, error) {
 			return buildShard(&cfg, si, seeds, gridSeed), nil
@@ -234,6 +235,16 @@ func Build(cfg Config, sink trace.Sink) (Report, error) {
 				if err := sink.Emit(tr); err != nil {
 					return err
 				}
+			}
+			shardsDone++
+			if obs.Enabled() {
+				// Per-shard progress for prismobs tail: done/total plus an
+				// ETA extrapolated from the shards consumed so far.
+				eta := time.Since(t0).Seconds() / float64(shardsDone) * float64(nShards-shardsDone)
+				obs.Emit("pop.progress", map[string]any{
+					"shards_done": shardsDone, "shards": nShards,
+					"ues": rep.Traces, "population": cfg.Population, "eta_s": eta,
+				})
 			}
 			return nil
 		})

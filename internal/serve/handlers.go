@@ -1,20 +1,25 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
 // Handler returns the server's route table:
 //
-//	POST /v1/forecast  — stream samples, get a forecast (or 429/400/413)
+//	POST /v1/forecast  — stream samples, get a forecast (or 429/400/413);
+//	                     every answer carries an X-Prism-Trace request ID
 //	GET  /healthz      — liveness: 200 while the process serves at all
 //	GET  /readyz       — readiness: 503 while warming up or draining
-//	GET  /metrics      — obs registry snapshot (JSON)
+//	GET  /metrics      — obs registry snapshot (JSON by default;
+//	                     ?format=openmetrics for Prometheus scrapes)
 //	GET  /statusz      — model, breaker, queue and session state
 //	POST /admin/swap   — atomic model hot-swap with old-model draining
 func (s *Server) Handler() http.Handler {
@@ -33,29 +38,41 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	// The trace opens before any work: every answered request — rejects,
+	// sheds and drains included — carries an X-Prism-Trace header and
+	// lands in the journal with whatever stages it reached.
+	rt := s.newReqTrace()
+	w.Header().Set(TraceHeader, rt.id)
+	defer s.finishTrace(rt)
 	if s.draining.Load() || !s.ready.Load() {
+		rt.outcome = "unavailable"
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	start := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
+		rt.decodeS = time.Since(rt.start).Seconds()
+		rt.outcome = "rejected"
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.reg.Add("serve.rejected_oversize", 1)
+			rt.reason = "oversize"
 			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
 			return
 		}
 		// Slow-loris bodies die here on the read deadline; the client
 		// never held anything but its own connection.
 		s.reg.Add("serve.rejected_body_read", 1)
+		rt.reason = "body_read"
 		http.Error(w, "body read failed", http.StatusBadRequest)
 		return
 	}
 	req, err := DecodeRequest(body, s.cfg.MaxSamples)
+	rt.decodeS = time.Since(rt.start).Seconds()
 	if err != nil {
 		s.reg.Add("serve.rejected_malformed", 1)
+		rt.outcome, rt.reason = "rejected", "malformed"
 		var re *RequestError
 		if errors.As(err, &re) {
 			http.Error(w, re.Msg, re.Status)
@@ -64,14 +81,15 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp, status := s.forecast(r.Context(), req)
+	resp, status := s.forecast(r.Context(), req, rt)
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		http.Error(w, "queue full", status)
 		return
 	}
-	s.reg.Observe("serve.latency_s", time.Since(start).Seconds())
+	et0 := time.Now()
 	writeJSON(w, status, resp)
+	rt.encodeS = time.Since(et0).Seconds()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -88,10 +106,37 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ready\n")
 }
 
+// handleMetrics serves the obs registry in two expositions: the repo's
+// JSON snapshot (default) and OpenMetrics text (?format=openmetrics, or
+// an Accept header naming application/openmetrics-text) for real
+// monitoring stacks. Rendering goes through a buffer so a marshal failure
+// surfaces as a 500 instead of a half-written 200.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		format = "openmetrics"
+	}
+	var buf bytes.Buffer
+	var contentType string
+	var err error
+	switch format {
+	case "", "json":
+		contentType = "application/json; charset=utf-8"
+		err = s.reg.WriteJSON(&buf)
+	case "openmetrics":
+		contentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+		err = s.reg.WriteOpenMetrics(&buf)
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (want json or openmetrics)", format), http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, "metrics render failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
 	w.WriteHeader(http.StatusOK)
-	s.reg.WriteJSON(w) //nolint:errcheck // best effort on a metrics scrape
+	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing to do
 }
 
 // statuszBody is the /statusz payload.

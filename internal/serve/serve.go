@@ -270,14 +270,18 @@ type inferOutcome struct {
 // forecast runs the full serving path for a decoded request: session
 // update, admission, breaker, inference under deadline, degradation. It
 // returns the response and the HTTP status (200 for every answered
-// forecast including degraded ones, 429 on shed).
-func (s *Server) forecast(ctx context.Context, req *Request) (*Response, int) {
+// forecast including degraded ones, 429 on shed). Along the way it fills
+// rt's stage durations (queue wait, breaker, inference) and outcome, so
+// the handler can journal the full per-request decomposition.
+func (s *Server) forecast(ctx context.Context, req *Request, rt *reqTrace) (*Response, int) {
 	s.reg.Add("serve.requests", 1)
+	rt.session = req.Session
 	sess := s.sessions.touch(req.Session)
 	sess.push(req.Samples)
 	samples, full := sess.snapshot()
 	if !full {
 		s.reg.Add("serve.warmup", 1)
+		rt.outcome = "warmup"
 		return &Response{Session: req.Session, Model: s.active.Load().name,
 			Warmup: true, Need: s.cfg.History - len(samples)}, http.StatusOK
 	}
@@ -288,12 +292,14 @@ func (s *Server) forecast(ctx context.Context, req *Request) (*Response, int) {
 	defer cancel()
 
 	res, waited := s.gate.admit(ctx)
+	rt.queueS = waited.Seconds()
 	switch res {
 	case admitShed:
 		s.reg.Add("serve.shed", 1)
+		rt.outcome = "shed"
 		return nil, http.StatusTooManyRequests
 	case admitTimeout:
-		return s.degrade(req, w, "timeout", waited), http.StatusOK
+		return s.degrade(req, w, "timeout", waited, rt), http.StatusOK
 	}
 
 	// A window poisoned by non-finite inputs (NaN sensor nulls that
@@ -302,13 +308,15 @@ func (s *Server) forecast(ctx context.Context, req *Request) (*Response, int) {
 	// of it — the model is healthy, the input is not.
 	if !predictors.ValidWindow(w) {
 		s.gate.release()
-		return s.degrade(req, w, "invalid_input", waited), http.StatusOK
+		return s.degrade(req, w, "invalid_input", waited, rt), http.StatusOK
 	}
 
+	bt0 := time.Now()
 	proceed, probe := s.breaker.Allow()
+	rt.breakerS = time.Since(bt0).Seconds()
 	if !proceed {
 		s.gate.release()
-		return s.degrade(req, w, "breaker_open", waited), http.StatusOK
+		return s.degrade(req, w, "breaker_open", waited, rt), http.StatusOK
 	}
 
 	slot := s.acquireActive()
@@ -326,17 +334,20 @@ func (s *Server) forecast(ctx context.Context, req *Request) (*Response, int) {
 
 	select {
 	case out := <-done:
+		rt.inferS = out.inferS
 		if out.intervened {
 			s.reg.Add("serve.degraded_model_fault", 1)
-			return s.respond(req, slot.name, out.y, true, "model_fault", waited, out.inferS), http.StatusOK
+			rt.outcome, rt.reason = "degraded", "model_fault"
+			return s.respond(req, slot.name, out.y, true, "model_fault", waited, out.inferS, rt), http.StatusOK
 		}
 		s.reg.Add("serve.ok", 1)
-		return s.respond(req, slot.name, out.y, false, "", waited, out.inferS), http.StatusOK
+		rt.outcome = "ok"
+		return s.respond(req, slot.name, out.y, false, "", waited, out.inferS, rt), http.StatusOK
 	case <-ctx.Done():
 		// The inference goroutine keeps its gate slot until it finishes,
 		// so a backlog of slow inferences surfaces as backpressure rather
 		// than goroutine growth.
-		return s.degrade(req, w, "timeout", waited), http.StatusOK
+		return s.degrade(req, w, "timeout", waited, rt), http.StatusOK
 	}
 }
 
@@ -355,7 +366,7 @@ func (s *Server) acquireActive() *modelSlot {
 // degrade answers from the harmonic-mean fallback. The output is
 // bit-for-bit the fallback predictor's forecast — the conformance harness
 // pins this (degradation is deterministic, not best-effort).
-func (s *Server) degrade(req *Request, w trace.Window, reason string, waited time.Duration) *Response {
+func (s *Server) degrade(req *Request, w trace.Window, reason string, waited time.Duration, rt *reqTrace) *Response {
 	switch reason {
 	case "timeout":
 		s.reg.Add("serve.degraded_timeout", 1)
@@ -364,19 +375,20 @@ func (s *Server) degrade(req *Request, w trace.Window, reason string, waited tim
 	case "invalid_input":
 		s.reg.Add("serve.degraded_input", 1)
 	}
-	s.reg.Emit("serve.degraded", map[string]any{"session": req.Session, "reason": reason})
-	return s.respond(req, s.active.Load().name, s.fallback.Predict(w), true, reason, waited, 0)
+	rt.outcome, rt.reason = "degraded", reason
+	s.reg.Emit("serve.degraded", map[string]any{"session": req.Session, "reason": reason, "trace": rt.id})
+	return s.respond(req, s.active.Load().name, s.fallback.Predict(w), true, reason, waited, 0, rt)
 }
 
 // respond converts a scaled forecast into the wire response in Mbps.
-func (s *Server) respond(req *Request, model string, y []float64, degraded bool, reason string, waited time.Duration, inferS float64) *Response {
+func (s *Server) respond(req *Request, model string, y []float64, degraded bool, reason string, waited time.Duration, inferS float64, rt *reqTrace) *Response {
 	mbps := make([]float64, len(y))
 	for i, v := range y {
 		mbps[i] = s.scaler.InvertTput(v)
 	}
-	s.reg.Observe("serve.queue_wait_s", waited.Seconds())
+	s.reg.ObserveEx("serve.queue_wait_s", waited.Seconds(), rt.id)
 	if inferS > 0 {
-		s.reg.Observe("serve.infer_s", inferS)
+		s.reg.ObserveEx("serve.infer_s", inferS, rt.id)
 	}
 	return &Response{
 		Session:      req.Session,

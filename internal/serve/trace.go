@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"time"
+
+	"prism5g/internal/obs"
+)
+
+// TraceHeader is the response header carrying the request's trace ID.
+// Every forecast response (including 429s and decode rejections) carries
+// one, so a client-side latency outlier can be joined against the
+// server-side "trace" journal event that decomposes it stage by stage.
+const TraceHeader = "X-Prism-Trace"
+
+// reqTrace is one request's latency decomposition: the trace ID plus the
+// per-stage durations the handler and forecast path fill in as the
+// request moves decode → admission queue → breaker → inference → encode.
+// It is owned by the request goroutine; the inference goroutine reports
+// its duration through the outcome channel, never by writing here.
+type reqTrace struct {
+	id      string
+	start   time.Time
+	session string
+	outcome string // ok, warmup, degraded, shed, rejected, unavailable
+	reason  string // degradation or rejection reason, "" for ok
+
+	decodeS, queueS, breakerS, inferS, encodeS float64
+}
+
+// newReqTrace opens a trace for one inbound request.
+func (s *Server) newReqTrace() *reqTrace {
+	return &reqTrace{id: obs.NewTraceID(), start: time.Now()}
+}
+
+// finish closes the trace: per-stage histograms (exemplared with the
+// trace ID so OpenMetrics buckets link back to the journal), the
+// end-to-end latency observation, and one "trace" journal event carrying
+// the full stage decomposition — the record `prismobs blame` consumes.
+func (s *Server) finishTrace(rt *reqTrace) {
+	totalS := time.Since(rt.start).Seconds()
+	s.reg.ObserveEx("serve.latency_s", totalS, rt.id)
+	s.reg.ObserveEx("serve.stage.decode_s", rt.decodeS, rt.id)
+	s.reg.ObserveEx("serve.stage.encode_s", rt.encodeS, rt.id)
+	if rt.inferS > 0 {
+		s.reg.ObserveEx("serve.stage.infer_s", rt.inferS, rt.id)
+	}
+	s.reg.Emit("trace", map[string]any{
+		"trace":     rt.id,
+		"session":   rt.session,
+		"outcome":   rt.outcome,
+		"reason":    rt.reason,
+		"total_s":   totalS,
+		"decode_s":  rt.decodeS,
+		"queue_s":   rt.queueS,
+		"breaker_s": rt.breakerS,
+		"infer_s":   rt.inferS,
+		"encode_s":  rt.encodeS,
+	})
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"prism5g/internal/obs"
+)
+
+// TestTraceHeaderOnEveryResponse: every answered forecast request carries
+// a fresh X-Prism-Trace ID — successes, warmups and rejects alike.
+func TestTraceHeaderOnEveryResponse(t *testing.T) {
+	s := testServer(t, &stub{name: "stub"}, nil)
+	h := s.Handler()
+	samples := mkSamples(12, 200)
+
+	seen := map[string]bool{}
+	check := func(rec *httptest.ResponseRecorder, label string) {
+		t.Helper()
+		id := rec.Header().Get(TraceHeader)
+		if len(id) != 32 {
+			t.Fatalf("%s: trace header %q, want 32 hex chars", label, id)
+		}
+		if seen[id] {
+			t.Fatalf("%s: trace ID %q reused", label, id)
+		}
+		seen[id] = true
+	}
+
+	check(post(t, h, "ue-1", samples[:9]), "warmup")     // 200 warmup
+	check(post(t, h, "ue-1", samples[9:10]), "forecast") // 200 ok
+	rec := httptest.NewRecorder()                        // 400 malformed
+	req := httptest.NewRequest(http.MethodPost, "/v1/forecast", bytes.NewReader([]byte("{")))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed status %d", rec.Code)
+	}
+	check(rec, "malformed")
+}
+
+// TestTraceJournalEvent: each request journals exactly one trace event
+// whose ID matches the response header and which carries stage durations.
+func TestTraceJournalEvent(t *testing.T) {
+	s := testServer(t, &stub{name: "stub"}, nil)
+	var buf bytes.Buffer
+	s.reg.SetJournal(obs.NewJournal(&buf))
+	h := s.Handler()
+	samples := mkSamples(12, 200)
+
+	warm := post(t, h, "ue-1", samples[:9])
+	ok := post(t, h, "ue-1", samples[9:10])
+	if err := s.reg.Journal().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := obs.ExtractTraces(evs)
+	if len(traces) != 2 {
+		t.Fatalf("got %d trace events, want 2 (one per request): %+v", len(traces), traces)
+	}
+	if traces[0].ID != warm.Header().Get(TraceHeader) ||
+		traces[1].ID != ok.Header().Get(TraceHeader) {
+		t.Fatal("journal trace IDs must match the response headers")
+	}
+	if traces[0].Outcome != "warmup" || traces[1].Outcome != "ok" {
+		t.Fatalf("outcomes = %q, %q; want warmup, ok", traces[0].Outcome, traces[1].Outcome)
+	}
+	for i, tr := range traces {
+		if tr.TotalS <= 0 {
+			t.Errorf("trace %d total_s = %v, want > 0", i, tr.TotalS)
+		}
+		if tr.Session != "ue-1" {
+			t.Errorf("trace %d session = %q", i, tr.Session)
+		}
+		for _, stage := range []string{"decode", "queue", "breaker", "infer", "encode"} {
+			if _, okk := tr.Stages[stage]; !okk {
+				t.Errorf("trace %d missing stage %q: %v", i, stage, tr.Stages)
+			}
+		}
+	}
+	// The answered forecast actually inferred; warmup never did.
+	if traces[1].Stages["infer"] <= 0 {
+		t.Errorf("ok trace infer_s = %v, want > 0", traces[1].Stages["infer"])
+	}
+	if traces[0].Stages["infer"] != 0 {
+		t.Errorf("warmup trace infer_s = %v, want 0", traces[0].Stages["infer"])
+	}
+}
+
+// TestBlameReproducesServeLatency is the acceptance check that the journal
+// view and the histogram view agree: exact p99 from Blame over the trace
+// events must land within the serve.latency_s histogram's bucket
+// resolution (the 1-2-5 ladder spaces bounds at most 2.5x apart).
+func TestBlameReproducesServeLatency(t *testing.T) {
+	s := testServer(t, &stub{name: "stub"}, nil)
+	var buf bytes.Buffer
+	s.reg.SetJournal(obs.NewJournal(&buf))
+	h := s.Handler()
+	samples := mkSamples(12, 200)
+
+	post(t, h, "ue-1", samples[:9]) // fill the window
+	const n = 200
+	for i := 0; i < n; i++ {
+		rec := post(t, h, "ue-1", samples[9:10])
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d status %d", i, rec.Code)
+		}
+	}
+	if err := s.reg.Journal().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := obs.ExtractTraces(evs)
+	if len(traces) != n+1 {
+		t.Fatalf("got %d traces, want %d", len(traces), n+1)
+	}
+	stats := obs.Blame(traces)
+	total := stats[len(stats)-1]
+	if total.Stage != "total" || total.Count != n+1 {
+		t.Fatalf("total row = %+v", total)
+	}
+	histP99 := s.reg.Histogram("serve.latency_s").Snapshot().P99
+	if histP99 <= 0 {
+		t.Fatalf("histogram p99 = %v", histP99)
+	}
+	// Same population, two estimators: exact sort vs bucket interpolation.
+	if total.P99S < histP99/2.5 || total.P99S > histP99*2.5 {
+		t.Errorf("blame p99 %.6gs vs histogram p99 %.6gs: outside bucket resolution",
+			total.P99S, histP99)
+	}
+	// The histogram counted every request too (it feeds the SLO view).
+	if got := s.reg.Histogram("serve.latency_s").Snapshot().Count; got != n+1 {
+		t.Errorf("serve.latency_s count = %d, want %d", got, n+1)
+	}
+}
+
+// TestMetricsOpenMetricsEndpoint: the exposition negotiates via query
+// param and Accept header, sets the right Content-Type, and carries
+// trace-ID exemplars on the latency histogram.
+func TestMetricsOpenMetricsEndpoint(t *testing.T) {
+	s := testServer(t, &stub{name: "stub"}, nil)
+	h := s.Handler()
+	samples := mkSamples(12, 200)
+	post(t, h, "ue-1", samples[:9])
+	post(t, h, "ue-1", samples[9:10])
+
+	get := func(target, accept string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	rec := get("/metrics", "")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("json content-type = %q", ct)
+	}
+	rec = get("/metrics?format=openmetrics", "")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/openmetrics-text; version=1.0.0; charset=utf-8" {
+		t.Fatalf("openmetrics content-type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE serve_requests counter",
+		"# TYPE serve_latency_s histogram",
+		`trace_id="`,
+		"# EOF\n",
+	} {
+		if !bytes.Contains([]byte(body), []byte(want)) {
+			t.Errorf("openmetrics body missing %q", want)
+		}
+	}
+	rec = get("/metrics", "application/openmetrics-text;version=1.0.0")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/openmetrics-text; version=1.0.0; charset=utf-8" {
+		t.Fatalf("accept-negotiated content-type = %q", ct)
+	}
+	rec = get("/metrics?format=xml", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown format status %d, want 400", rec.Code)
+	}
+}

@@ -1,18 +1,35 @@
 #!/bin/sh
-# obssmoke.sh <metrics-snapshot.json>
+# obssmoke.sh <metrics-snapshot.json> [port]
 #
-# Asserts that an instrumented run produced a parseable metrics snapshot
-# with nonzero counters from every pipeline stage: sim (trace generation),
-# par (worker pool), trace (windowing) and train (epoch loop). Used by
-# `make obs-smoke` and the CI telemetry step.
+# Two-part telemetry smoke, used by `make obs-smoke` and the CI telemetry
+# step:
+#
+#  1. Snapshot check: an instrumented pipeline run must have produced a
+#     parseable metrics snapshot with nonzero counters from every stage —
+#     sim (trace generation), par (worker pool), trace (windowing) and
+#     train (epoch loop).
+#
+#  2. Live serving check: start prismserve with a journal, drive prismload
+#     (with its own client-side journal), scrape the live
+#     /metrics?format=openmetrics exposition and validate it structurally
+#     (legal names, cumulative buckets, exemplars on the latency
+#     histogram, trailing # EOF), then run `prismobs blame` and
+#     `prismobs slo` over both journals. Every answered load request must
+#     have carried an X-Prism-Trace header.
 set -eu
 
-if [ $# -ne 1 ] || [ ! -r "$1" ]; then
-    echo "usage: $0 <metrics-snapshot.json>" >&2
+if [ $# -lt 1 ] || [ ! -r "$1" ]; then
+    echo "usage: $0 <metrics-snapshot.json> [port]" >&2
     exit 2
 fi
+snap=$1
+port=${2:-18437}
+addr=127.0.0.1:$port
+GO=${GO:-go}
 
-python3 - "$1" <<'EOF'
+# ---- part 1: pipeline metrics snapshot ---------------------------------
+
+python3 - "$snap" <<'EOF'
 import json
 import sys
 
@@ -25,5 +42,114 @@ missing = [k for k in ("sim.traces_built", "par.tasks",
 if missing:
     sys.exit(f"obs-smoke: missing or zero counters {missing}; "
              f"snapshot has {sorted(counters)}")
-print("obs-smoke: ok", {k: counters[k] for k in sorted(counters)})
+print("obs-smoke: snapshot ok", {k: counters[k] for k in sorted(counters)})
 EOF
+
+# ---- part 2: live serving telemetry ------------------------------------
+
+workdir=$(mktemp -d)
+srv_pid=
+cleanup() {
+    [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+$GO build -o "$workdir/prismserve" ./cmd/prismserve
+$GO build -o "$workdir/prismload" ./cmd/prismload
+$GO build -o "$workdir/prismobs" ./cmd/prismobs
+
+"$workdir/prismserve" -addr "$addr" -journal "$workdir/serve.jsonl" &
+srv_pid=$!
+
+"$workdir/prismload" -addr "$addr" -probe -probe-wait 30s
+"$workdir/prismload" -addr "$addr" -sessions 10 -requests 20 \
+    -journal "$workdir/load.jsonl" | tee "$workdir/load.out"
+
+# Every answered request must have carried a trace header.
+traced=$(sed -n 's/.*"traced":\([0-9]*\).*/\1/p' "$workdir/load.out")
+untraced=$(sed -n 's/.*"untraced":\([0-9]*\).*/\1/p' "$workdir/load.out")
+if [ "${traced:-0}" -eq 0 ] || [ "${untraced:-1}" -ne 0 ]; then
+    echo "obs-smoke: tracing gap: traced=${traced:-0} untraced=${untraced:-?}" >&2
+    exit 1
+fi
+
+# Scrape and structurally validate the live OpenMetrics exposition.
+python3 - "$addr" <<'EOF'
+import re
+import sys
+import urllib.request
+
+addr = sys.argv[1]
+with urllib.request.urlopen(f"http://{addr}/metrics?format=openmetrics") as resp:
+    ctype = resp.headers.get("Content-Type", "")
+    text = resp.read().decode()
+if not ctype.startswith("application/openmetrics-text"):
+    sys.exit(f"obs-smoke: wrong openmetrics content-type {ctype!r}")
+if not text.endswith("# EOF\n"):
+    sys.exit("obs-smoke: exposition does not end with # EOF")
+
+name = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+sample = re.compile(
+    rf"^({name})(\{{[^}}]*\}})? (\S+)( # \{{[^}}]*\}} \S+ \S+)?$")
+cum, fam = {}, None
+exemplars = 0
+lines = text.rstrip("\n").split("\n")
+for line in lines[:-1]:  # last is # EOF
+    if line.startswith("# TYPE "):
+        parts = line.split()
+        if len(parts) != 4 or not re.fullmatch(name, parts[2]) \
+                or parts[3] not in ("counter", "gauge", "histogram"):
+            sys.exit(f"obs-smoke: bad TYPE line {line!r}")
+        continue
+    m = sample.match(line)
+    if not m:
+        sys.exit(f"obs-smoke: unparseable sample line {line!r}")
+    metric = m.group(1)
+    if metric.endswith("_bucket"):
+        f = metric[:-len("_bucket")]
+        count = int(m.group(3))
+        if f == fam and count < cum.get(f, 0):
+            sys.exit(f"obs-smoke: non-cumulative buckets at {line!r}")
+        fam, cum[f] = f, count
+        if f == "serve_latency_s" and m.group(4):
+            if 'trace_id="' not in m.group(4):
+                sys.exit(f"obs-smoke: exemplar without trace_id: {line!r}")
+            exemplars += 1
+
+if "serve_requests_total" not in text:
+    sys.exit("obs-smoke: serve_requests_total missing from exposition")
+if exemplars == 0:
+    sys.exit("obs-smoke: no trace-ID exemplars on serve_latency_s buckets")
+with urllib.request.urlopen(f"http://{addr}/metrics") as resp:
+    import json
+    snap = json.load(resp)
+if snap["counters"].get("serve.requests", 0) <= 0:
+    sys.exit("obs-smoke: JSON snapshot lost serve.requests")
+print(f"obs-smoke: openmetrics ok ({len(lines)} lines, "
+      f"{exemplars} latency exemplars)")
+EOF
+
+# Drain the server so its journal flushes, then inspect both journals.
+kill -TERM "$srv_pid"
+if ! wait "$srv_pid"; then
+    echo "obs-smoke: server exited nonzero after SIGTERM" >&2
+    exit 1
+fi
+srv_pid=
+
+"$workdir/prismobs" blame -journal "$workdir/serve.jsonl" | tee "$workdir/blame.out"
+grep -q "infer" "$workdir/blame.out" || {
+    echo "obs-smoke: server-side blame has no infer stage" >&2; exit 1; }
+"$workdir/prismobs" slo -journal "$workdir/serve.jsonl" \
+    -objective 0.99 -latency 250ms | tee "$workdir/slo.out"
+grep -q "availability" "$workdir/slo.out" || {
+    echo "obs-smoke: slo output missing availability" >&2; exit 1; }
+"$workdir/prismobs" blame -journal "$workdir/load.jsonl" | tee "$workdir/blame-client.out"
+grep -q "rtt" "$workdir/blame-client.out" || {
+    echo "obs-smoke: client-side blame has no rtt stage" >&2; exit 1; }
+"$workdir/prismobs" grep -journal "$workdir/serve.jsonl" -ev trace \
+    -where outcome=ok >/dev/null || {
+    echo "obs-smoke: journal grep found no ok traces" >&2; exit 1; }
+
+echo "obs-smoke: ok (snapshot, openmetrics, tracing, blame, slo)"
